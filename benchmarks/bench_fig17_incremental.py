@@ -1,0 +1,143 @@
+"""Figure 17 — incremental vs. per-version computation: label counting in
+2-hop neighborhoods with NodeComputeTemporal vs NodeComputeDelta.
+
+Expected shape (paper): cumulative compute time (fetch excluded) grows
+much faster for the per-version operator — O(N·T) against O(N+T) — so the
+gap widens with the number of versions processed.  This benchmark measures
+real wall time: the effect is genuine in any substrate.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.events import EventKind
+from repro.index.tgi import TGI, TGIConfig
+from repro.spark.rdd import SparkContext
+from repro.taf.handler import TGIHandler
+from repro.taf.son import SOTS
+from repro.workloads.social import SocialConfig, generate_social_events
+
+from benchmarks.conftest import print_series
+
+WINDOW_FRACTIONS = (0.01, 0.02, 0.03, 0.04)
+
+
+def f_count(g):
+    """Count nodes labelled community 'A' in the subgraph state."""
+    return sum(1 for n in g.nodes() if g.node_attrs(n).get("community") == "A")
+
+
+def f_count_delta(gprev, val, ev):
+    """Incremental update of the label count for one event."""
+    if ev.kind == EventKind.NODE_ADD:
+        return val + (1 if (ev.value or {}).get("community") == "A" else 0)
+    if ev.kind == EventKind.NODE_DELETE:
+        if gprev.has_node(ev.node) and (
+            gprev.node_attrs(ev.node).get("community") == "A"
+        ):
+            return val - 1
+        return val
+    if ev.kind == EventKind.NODE_ATTR_SET and ev.key == "community":
+        was = (
+            gprev.node_attrs(ev.node).get("community")
+            if gprev.has_node(ev.node)
+            else None
+        )
+        if was != "A" and ev.value == "A":
+            return val + 1
+        if was == "A" and ev.value != "A":
+            return val - 1
+    return val
+
+
+@pytest.fixture(scope="module")
+def sots():
+    events = generate_social_events(
+        SocialConfig(num_nodes=150, num_steps=4000, seed=31)
+    )
+    tgi = TGI(
+        TGIConfig(
+            events_per_timespan=2000,
+            eventlist_size=200,
+            micro_partition_size=40,
+        )
+    )
+    tgi.build(events)
+    handler = TGIHandler(tgi, SparkContext(num_workers=2))
+    t_end = events[-1].time
+    return SOTS(k=2, handler=handler).Timeslice(1, t_end).fetch(
+        centers=list(range(8))
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep(sots):
+    """Cumulative compute seconds over windows of increasing version count.
+
+    The window (not the evaluation grid) grows, because the incremental
+    operator's work is proportional to the events in the window — exactly
+    the quantity the paper's x-axis ("version count") controls."""
+    t0 = min(sg.get_start_time() for sg in sots.collect())
+    t1 = max(sg.get_end_time() for sg in sots.collect())
+    # windows start after the join phase so every member exists and the
+    # rebuild cost NodeComputeTemporal pays per version is realistic
+    t0 = t0 + (t1 - t0) // 3
+    out = {"temporal": [], "delta": []}
+    for frac in WINDOW_FRACTIONS:
+        te = int(t0 + (t1 - t0) * frac)
+        window = sots.Timeslice(t0, te)
+        versions = sum(
+            len(sg.change_points()) for sg in window.collect()
+        ) / len(window.collect())
+
+        start = time.perf_counter()
+        r_t = window.NodeComputeTemporal(f_count)
+        t_temporal = time.perf_counter() - start
+
+        start = time.perf_counter()
+        r_d = window.NodeComputeDelta(f_count, f_count_delta)
+        t_delta = time.perf_counter() - start
+
+        # both operators must agree at every change point
+        for c in r_t.series:
+            assert r_t[c] == r_d[c]
+
+        out["temporal"].append((versions, t_temporal))
+        out["delta"].append((versions, t_delta))
+    return out
+
+
+def test_fig17_report(benchmark, sweep):
+    got = benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = []
+    for label in ("temporal", "delta"):
+        cells = "  ".join(f"{sec*1000:8.1f}" for _, sec in got[label])
+        rows.append(f"{label:<9} {cells}")
+    counts = "  ".join(f"{v:8.1f}" for v, _ in got["temporal"])
+    print_series(
+        "Fig 17: cumulative compute ms vs version count "
+        "(NodeComputeTemporal vs NodeComputeDelta)",
+        "          " + counts + "  avg versions",
+        rows,
+    )
+
+
+def test_fig17_incremental_wins_at_scale(benchmark, sweep):
+    def _check():
+        t_final = sweep["temporal"][-1][1]
+        d_final = sweep["delta"][-1][1]
+        assert d_final < t_final / 2
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+def test_fig17_gap_widens_with_versions(benchmark, sweep):
+    def _check():
+        gaps = [
+            t - d
+            for (_, t), (_, d) in zip(sweep["temporal"], sweep["delta"])
+        ]
+        assert gaps[-1] > gaps[0]
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)

@@ -1,0 +1,85 @@
+"""Compare all six temporal index families on the same history — a live
+rendition of the paper's Table 1 trade-off space.
+
+Run with::
+
+    python examples/index_comparison.py
+"""
+
+from repro import (
+    CopyIndex,
+    CopyLogIndex,
+    DeltaGraphIndex,
+    LogIndex,
+    NodeCentricIndex,
+    TGI,
+    TGIConfig,
+)
+from repro.graph.static import Graph
+from repro.workloads.citation import CitationConfig, generate_citation_events
+
+
+def main() -> None:
+    events = generate_citation_events(CitationConfig(num_nodes=600, seed=5))
+    t_end = events[-1].time
+    mid = t_end // 2
+
+    indexes = {
+        "Log": LogIndex(eventlist_size=200),
+        "Copy": CopyIndex(),
+        "Copy+Log": CopyLogIndex(eventlist_size=200, lists_per_checkpoint=4),
+        "NodeCentric": NodeCentricIndex(),
+        "DeltaGraph": DeltaGraphIndex(eventlist_size=200, arity=2),
+        "TGI": TGI(
+            TGIConfig(
+                events_per_timespan=1500,
+                eventlist_size=150,
+                micro_partition_size=50,
+            )
+        ),
+    }
+    print(f"building 6 indexes over {len(events)} events ...")
+    for name, idx in indexes.items():
+        idx.build(events)
+
+    truth = Graph.replay(events, until=mid)
+    probe_node = max(truth.nodes(), key=truth.degree)
+
+    header = (
+        f"{'index':<12} {'storage KiB':>12} {'snapshot':>18} "
+        f"{'node versions':>18} {'1-hop':>18}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for name, idx in indexes.items():
+        storage = idx.cluster.stored_bytes // 1024
+
+        idx.get_snapshot(mid)
+        snap = idx.last_fetch_stats
+        snap_cell = f"{snap.num_requests}r/{snap.sim_time_ms:7.1f}ms"
+
+        idx.get_node_history(probe_node, mid // 2, t_end)
+        hist = idx.last_fetch_stats
+        hist_cell = f"{hist.num_requests}r/{hist.sim_time_ms:7.1f}ms"
+
+        idx.get_khop(probe_node, mid, k=1)
+        hop = idx.last_fetch_stats
+        hop_cell = f"{hop.num_requests}r/{hop.sim_time_ms:7.1f}ms"
+
+        print(
+            f"{name:<12} {storage:>12} {snap_cell:>18} {hist_cell:>18} "
+            f"{hop_cell:>18}"
+        )
+
+    print(
+        "\nReading the table: Log is tiny but pays full-history replay on "
+        "every query;\nCopy answers snapshots in one read but stores the "
+        "graph quadratically;\nthe node-centric index nails version queries "
+        "and loses on snapshots;\nTGI (and DeltaGraph for snapshots) stay "
+        "within a small factor of the\nspecialist for every primitive — the "
+        "paper's generalization claim."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Temporal pattern mining with incremental counters (the paper's Sec. 5.2
+motivation: maintaining pattern counts over long version sequences with
+auxiliary inverted indexes instead of re-matching per snapshot).
+
+Run with::
+
+    python examples/pattern_mining.py
+"""
+
+import time
+
+from repro import TGI, TGIConfig
+from repro.graph.metrics import triangle_count
+from repro.spark.rdd import SparkContext
+from repro.taf.handler import TGIHandler
+from repro.taf.patterns import (
+    LabeledEdgeCounter,
+    TriangleCounter,
+    WedgeCounter,
+    brute_force_count,
+    count_over_time,
+)
+from repro.taf.son import SOTS
+from repro.workloads.social import SocialConfig, generate_social_events
+
+
+def main() -> None:
+    events = generate_social_events(
+        SocialConfig(num_nodes=100, num_steps=2200, seed=21)
+    )
+    t_end = events[-1].time
+    tgi = TGI(TGIConfig(events_per_timespan=1200, eventlist_size=150,
+                        micro_partition_size=25))
+    tgi.build(events)
+    handler = TGIHandler(tgi, SparkContext(num_workers=2))
+
+    sots = SOTS(k=2, handler=handler).Timeslice(1, t_end).fetch(
+        centers=[0, 5, 10]
+    )
+
+    print("triangle counts over time (2-hop neighborhoods):")
+    for sg in sots:
+        series = count_over_time(sg, TriangleCounter)
+        first, last = series[0], series[-1]
+        peak = max(series, key=lambda p: p[1])
+        print(
+            f"  center {sg.center:>3}: {first[1]:.0f} -> {last[1]:.0f} "
+            f"triangles (peak {peak[1]:.0f} at t={peak[0]})"
+        )
+
+    print("\ncross-community friendships (A-B edges) over time:")
+    for sg in sots:
+        series = count_over_time(
+            sg, lambda: LabeledEdgeCounter("community", "A", "B")
+        )
+        print(f"  center {sg.center:>3}: final count {series[-1][1]:.0f} "
+              f"over {len(series)} change points")
+
+    # incremental vs brute force: same numbers, very different cost
+    sg = sots.collect()[0]
+    start = time.perf_counter()
+    fast = count_over_time(sg, WedgeCounter)
+    t_fast = time.perf_counter() - start
+
+    def wedges(g):
+        return sum(g.degree(v) * (g.degree(v) - 1) // 2 for v in g.nodes())
+
+    start = time.perf_counter()
+    slow = brute_force_count(sg, wedges)
+    t_slow = time.perf_counter() - start
+    assert fast == slow
+    print(
+        f"\nwedge counting, center {sg.center}: incremental {t_fast*1000:.1f} ms "
+        f"vs per-snapshot {t_slow*1000:.1f} ms "
+        f"({t_slow/max(t_fast, 1e-9):.0f}x) — identical series"
+    )
+
+
+if __name__ == "__main__":
+    main()

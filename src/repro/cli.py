@@ -1,0 +1,227 @@
+"""Command-line interface for the Historical Graph Store.
+
+Subcommands::
+
+    hgs generate  — produce a workload trace (citation / friendster /
+                    social) as a JSON-lines event file
+    hgs build     — build a TGI over an event file and save it
+    hgs query     — run snapshot / node-history / k-hop queries against a
+                    saved index
+    hgs inspect   — summarize an event file or a saved index
+
+Run ``python -m repro.cli --help`` (or ``hgs --help`` once installed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.graph.static import Graph
+from repro.index.tgi import TGI, PartitioningStrategy, TGIConfig
+from repro.io import read_events, write_events
+from repro.kvstore.cluster import ClusterConfig
+from repro.storage import load_index, save_index
+from repro.workloads.citation import CitationConfig, generate_citation_events
+from repro.workloads.friendster import (
+    FriendsterConfig,
+    generate_friendster_events,
+)
+from repro.workloads.social import SocialConfig, generate_social_events
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hgs",
+        description="Historical Graph Store: temporal graph indexing and "
+        "retrieval (EDBT 2016 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a workload event file")
+    gen.add_argument("workload", choices=["citation", "friendster", "social"])
+    gen.add_argument("output", help="output JSON-lines path")
+    gen.add_argument("--nodes", type=int, default=1000)
+    gen.add_argument("--steps", type=int, default=2000,
+                     help="churn steps (social workload)")
+    gen.add_argument("--seed", type=int, default=42)
+
+    build = sub.add_parser("build", help="build a TGI over an event file")
+    build.add_argument("events", help="input JSON-lines event file")
+    build.add_argument("output", help="output index file")
+    build.add_argument("--span", type=int, default=4000,
+                       help="events per timespan")
+    build.add_argument("--eventlist", type=int, default=250,
+                       help="eventlist size l")
+    build.add_argument("--partition-size", type=int, default=100,
+                       help="micro-partition size ps")
+    build.add_argument("--machines", type=int, default=1, help="m")
+    build.add_argument("--replication", type=int, default=1, help="r")
+    build.add_argument("--compress", action="store_true")
+    build.add_argument("--mincut", action="store_true",
+                       help="locality-aware micro partitioning")
+    build.add_argument("--replicate-boundary", action="store_true",
+                       help="1-hop edge-cut replication")
+
+    query = sub.add_parser("query", help="query a saved index")
+    query.add_argument("index", help="index file from `hgs build`")
+    qsub = query.add_subparsers(dest="query_kind", required=True)
+
+    qsnap = qsub.add_parser("snapshot", help="graph as of a time point")
+    qsnap.add_argument("time", type=int)
+    qsnap.add_argument("--clients", type=int, default=1)
+
+    qnode = qsub.add_parser("node", help="a node's history")
+    qnode.add_argument("node", type=int)
+    qnode.add_argument("ts", type=int)
+    qnode.add_argument("te", type=int)
+
+    qhop = qsub.add_parser("khop", help="k-hop neighborhood at a time point")
+    qhop.add_argument("node", type=int)
+    qhop.add_argument("time", type=int)
+    qhop.add_argument("-k", type=int, default=1)
+
+    inspect = sub.add_parser("inspect", help="summarize an event/index file")
+    inspect.add_argument("path")
+    inspect.add_argument(
+        "--kind", choices=["auto", "events", "index"], default="auto"
+    )
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.workload == "citation":
+        events = generate_citation_events(
+            CitationConfig(num_nodes=args.nodes, seed=args.seed)
+        )
+    elif args.workload == "friendster":
+        events = generate_friendster_events(
+            FriendsterConfig(num_nodes=args.nodes, seed=args.seed)
+        )
+    else:
+        events = generate_social_events(
+            SocialConfig(num_nodes=args.nodes, num_steps=args.steps,
+                         seed=args.seed)
+        )
+    count = write_events(events, args.output)
+    print(f"wrote {count} events to {args.output}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    events = read_events(args.events)
+    config = TGIConfig(
+        events_per_timespan=args.span,
+        eventlist_size=args.eventlist,
+        micro_partition_size=args.partition_size,
+        partitioning=(
+            PartitioningStrategy.MINCUT if args.mincut
+            else PartitioningStrategy.RANDOM
+        ),
+        replicate_boundary=args.replicate_boundary,
+        cluster=ClusterConfig(
+            num_machines=args.machines,
+            replication=args.replication,
+            compress=args.compress,
+        ),
+    )
+    tgi = TGI(config)
+    tgi.build(events)
+    save_index(tgi, args.output)
+    print(
+        f"built TGI over {len(events)} events: {tgi.num_timespans} "
+        f"timespans, {tgi.cluster.unique_rows} rows, "
+        f"{tgi.cluster.stored_bytes // 1024} KiB -> {args.output}"
+    )
+    return 0
+
+
+def _graph_summary(g: Graph) -> dict:
+    return {"nodes": g.num_nodes, "edges": g.num_edges}
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    index = load_index(args.index)
+    if args.query_kind == "snapshot":
+        g = index.get_snapshot(args.time, clients=args.clients)
+        stats = index.last_fetch_stats
+        print(json.dumps({
+            "snapshot": _graph_summary(g),
+            "deltas_fetched": stats.num_requests,
+            "sim_time_ms": round(stats.sim_time_ms, 2),
+        }, indent=2))
+    elif args.query_kind == "node":
+        h = index.get_node_history(args.node, args.ts, args.te)
+        versions = [
+            {"t": t, "alive": s is not None,
+             "degree": len(s.E) if s else 0,
+             "attrs": s.attrs if s else None}
+            for t, s in h.versions()
+        ]
+        print(json.dumps({
+            "node": args.node,
+            "versions": versions,
+            "sim_time_ms": round(index.last_fetch_stats.sim_time_ms, 2),
+        }, indent=2))
+    else:
+        g = index.get_khop(args.node, args.time, k=args.k)
+        print(json.dumps({
+            "center": args.node,
+            "k": args.k,
+            "neighborhood": _graph_summary(g),
+            "members": sorted(g.nodes()),
+            "sim_time_ms": round(index.last_fetch_stats.sim_time_ms, 2),
+        }, indent=2))
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    kind = args.kind
+    if kind == "auto":
+        kind = "events" if str(args.path).endswith((".jsonl", ".json",
+                                                    ".events")) else "index"
+    if kind == "events":
+        events = read_events(args.path)
+        g = Graph.replay(events)
+        kinds: dict = {}
+        for ev in events:
+            kinds[ev.kind.name] = kinds.get(ev.kind.name, 0) + 1
+        print(json.dumps({
+            "events": len(events),
+            "time_range": [events[0].time, events[-1].time] if events else None,
+            "final_graph": _graph_summary(g),
+            "event_kinds": kinds,
+        }, indent=2))
+    else:
+        index = load_index(args.path)
+        info = {"class": type(index).__name__}
+        if isinstance(index, TGI):
+            info.update({
+                "timespans": index.num_timespans,
+                "rows": index.cluster.unique_rows,
+                "stored_kib": index.cluster.stored_bytes // 1024,
+                "machines": index.config.cluster.num_machines,
+                "replication": index.config.cluster.replication,
+            })
+        print(json.dumps(info, indent=2))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "build": _cmd_build,
+        "query": _cmd_query,
+        "inspect": _cmd_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

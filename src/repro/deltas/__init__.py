@@ -1,0 +1,32 @@
+"""The delta framework (paper Sec. 4.1): deltas, eventlists, snapshots."""
+
+from repro.deltas.base import Delta, EMPTY_DELTA, StaticEdge, StaticNode
+from repro.deltas.eventlist import (
+    EventList,
+    PartitionedEventList,
+    partition_eventlist,
+    split_events_into_lists,
+)
+from repro.deltas.snapshot import (
+    PartitionedSnapshot,
+    SnapshotDelta,
+    merge_partitioned_snapshots,
+    partition_snapshot,
+    split_delta,
+)
+
+__all__ = [
+    "Delta",
+    "EMPTY_DELTA",
+    "StaticNode",
+    "StaticEdge",
+    "EventList",
+    "PartitionedEventList",
+    "partition_eventlist",
+    "split_events_into_lists",
+    "SnapshotDelta",
+    "PartitionedSnapshot",
+    "partition_snapshot",
+    "merge_partitioned_snapshots",
+    "split_delta",
+]

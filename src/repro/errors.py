@@ -1,0 +1,55 @@
+"""Exception hierarchy for the Historical Graph Store.
+
+All library errors derive from :class:`HGSError` so callers can catch a
+single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class HGSError(Exception):
+    """Base class for all Historical Graph Store errors."""
+
+
+class GraphError(HGSError):
+    """Structural violation in an in-memory graph (e.g. edge to a missing node)."""
+
+
+class EventError(HGSError):
+    """Malformed or inapplicable change event."""
+
+
+class DeltaError(HGSError):
+    """Invalid delta algebra operation."""
+
+
+class StorageError(HGSError):
+    """Key-value store failure (missing key, node down, bad placement)."""
+
+
+class KeyNotFound(StorageError):
+    """Requested key does not exist on any replica."""
+
+
+class IndexError_(HGSError):
+    """Historical-graph-index construction or retrieval failure.
+
+    Named with a trailing underscore to avoid shadowing the builtin
+    ``IndexError``.
+    """
+
+
+class TimeRangeError(IndexError_):
+    """Query time lies outside the indexed history."""
+
+
+class PartitioningError(HGSError):
+    """Graph partitioner could not satisfy its constraints."""
+
+
+class QueryError(HGSError):
+    """Malformed TAF query or predicate expression."""
+
+
+class AnalyticsError(HGSError):
+    """Failure while executing a TAF operator."""

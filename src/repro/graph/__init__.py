@@ -1,0 +1,7 @@
+"""Property-graph data model: static graphs, change events, metrics."""
+
+from repro.graph.events import Event, EventBuilder, EventKind
+from repro.graph.static import Graph
+from repro.graph.metrics import GraphMetrics, NodeMetrics
+
+__all__ = ["Event", "EventBuilder", "EventKind", "Graph", "GraphMetrics", "NodeMetrics"]

@@ -1,0 +1,301 @@
+"""In-memory property graph: the materialized form of one snapshot.
+
+``Graph`` is the object handed to user analysis code (TAF's ``Graph``
+operator returns one).  It supports node/edge attributes, directed or
+undirected semantics, event application/replay, and structural queries used
+by the retrieval algorithms (neighbors, induced subgraphs, k-hop
+neighborhoods).
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import EventError, GraphError
+from repro.graph.events import Event, EventKind
+from repro.types import AttrMap, EdgeId, NodeId, TimePoint, canonical_edge
+
+
+class Graph:
+    """A static property graph (one snapshot of the evolving graph).
+
+    Nodes carry attribute maps; edges carry attribute maps and are
+    undirected by default (the paper's experiments use undirected graphs;
+    direction is supported because the data model in Sec. 3.1 includes it).
+    """
+
+    __slots__ = ("directed", "_nodes", "_adj", "_edge_attrs")
+
+    def __init__(self, directed: bool = False) -> None:
+        self.directed = directed
+        self._nodes: Dict[NodeId, AttrMap] = {}
+        # adjacency: node -> set of neighbor ids (out-neighbors if directed)
+        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        self._edge_attrs: Dict[EdgeId, AttrMap] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, attrs: Optional[AttrMap] = None) -> None:
+        """Add ``node``; re-adding an existing node resets its attributes."""
+        self._nodes[node] = dict(attrs) if attrs else {}
+        self._adj.setdefault(node, set())
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove ``node`` and all incident edges."""
+        if node not in self._nodes:
+            raise GraphError(f"node {node} not in graph")
+        for nbr in list(self._adj[node]):
+            self.remove_edge(node, nbr)
+        if self.directed:
+            # incoming edges are not tracked in _adj[node]; scan for them
+            for (u, v) in [e for e in self._edge_attrs if e[1] == node]:
+                self.remove_edge(u, v)
+        del self._nodes[node]
+        del self._adj[node]
+
+    def add_edge(
+        self, u: NodeId, v: NodeId, attrs: Optional[AttrMap] = None
+    ) -> None:
+        """Add edge ``(u, v)``; both endpoints must already exist."""
+        if u not in self._nodes or v not in self._nodes:
+            raise GraphError(f"edge ({u}, {v}) references a missing node")
+        eid = canonical_edge(u, v, self.directed)
+        self._edge_attrs[eid] = dict(attrs) if attrs else {}
+        self._adj[u].add(v)
+        if not self.directed:
+            self._adj[v].add(u)
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        eid = canonical_edge(u, v, self.directed)
+        if eid not in self._edge_attrs:
+            raise GraphError(f"edge ({u}, {v}) not in graph")
+        del self._edge_attrs[eid]
+        self._adj[u].discard(v)
+        if not self.directed:
+            self._adj[v].discard(u)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    def has_node(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return canonical_edge(u, v, self.directed) in self._edge_attrs
+
+    def node_attrs(self, node: NodeId) -> AttrMap:
+        try:
+            return self._nodes[node]
+        except KeyError:
+            raise GraphError(f"node {node} not in graph") from None
+
+    def edge_attrs(self, u: NodeId, v: NodeId) -> AttrMap:
+        eid = canonical_edge(u, v, self.directed)
+        try:
+            return self._edge_attrs[eid]
+        except KeyError:
+            raise GraphError(f"edge ({u}, {v}) not in graph") from None
+
+    def nodes(self) -> Iterator[NodeId]:
+        return iter(self._nodes)
+
+    def edges(self) -> Iterator[EdgeId]:
+        return iter(self._edge_attrs)
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """Neighbor ids of ``node`` (out-neighbors when directed)."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise GraphError(f"node {node} not in graph") from None
+
+    def degree(self, node: NodeId) -> int:
+        return len(self.neighbors(node))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edge_attrs)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.directed == other.directed
+            and self._nodes == other._nodes
+            and self._edge_attrs == other._edge_attrs
+        )
+
+    def __repr__(self) -> str:
+        kind = "directed" if self.directed else "undirected"
+        return f"<Graph {kind} n={self.num_nodes} m={self.num_edges}>"
+
+    # ------------------------------------------------------------------
+    # event application
+    # ------------------------------------------------------------------
+    def apply_event(self, ev: Event, strict: bool = False) -> None:
+        """Mutate the graph according to one atomic event.
+
+        With ``strict=False`` (the default, matching how a store replays
+        possibly-redundant deltas) inapplicable events are tolerated:
+        re-adding an existing node keeps its attributes, deleting a missing
+        edge is a no-op.  With ``strict=True`` such events raise
+        :class:`EventError`.
+        """
+        kind = ev.kind
+        if kind == EventKind.NODE_ADD:
+            if ev.node in self._nodes:
+                if strict:
+                    raise EventError(f"node {ev.node} already exists")
+                return
+            self.add_node(ev.node, ev.value)
+        elif kind == EventKind.NODE_DELETE:
+            if ev.node not in self._nodes:
+                if strict:
+                    raise EventError(f"node {ev.node} does not exist")
+                return
+            self.remove_node(ev.node)
+        elif kind == EventKind.EDGE_ADD:
+            assert ev.other is not None
+            # auto-create endpoints in lenient mode: real traces (e.g. raw
+            # citation dumps) frequently reference nodes before their
+            # explicit creation records
+            for endpoint in (ev.node, ev.other):
+                if endpoint not in self._nodes:
+                    if strict:
+                        raise EventError(f"endpoint {endpoint} does not exist")
+                    self.add_node(endpoint)
+            if self.has_edge(ev.node, ev.other):
+                if strict:
+                    raise EventError(f"edge {ev.edge} already exists")
+                return
+            self.add_edge(ev.node, ev.other, ev.value)
+        elif kind == EventKind.EDGE_DELETE:
+            assert ev.other is not None
+            if not self.has_edge(ev.node, ev.other):
+                if strict:
+                    raise EventError(f"edge {ev.edge} does not exist")
+                return
+            self.remove_edge(ev.node, ev.other)
+        elif kind == EventKind.NODE_ATTR_SET:
+            if ev.node not in self._nodes:
+                if strict:
+                    raise EventError(f"node {ev.node} does not exist")
+                self.add_node(ev.node)
+            assert ev.key is not None
+            self._nodes[ev.node][ev.key] = ev.value
+        elif kind == EventKind.NODE_ATTR_DEL:
+            assert ev.key is not None
+            attrs = self._nodes.get(ev.node)
+            if attrs is None or ev.key not in attrs:
+                if strict:
+                    raise EventError(f"attribute {ev.key} missing on {ev.node}")
+                return
+            del attrs[ev.key]
+        elif kind == EventKind.EDGE_ATTR_SET:
+            assert ev.other is not None and ev.key is not None
+            eid = canonical_edge(ev.node, ev.other, self.directed)
+            attrs = self._edge_attrs.get(eid)
+            if attrs is None:
+                if strict:
+                    raise EventError(f"edge {eid} does not exist")
+                return
+            attrs[ev.key] = ev.value
+        elif kind == EventKind.EDGE_ATTR_DEL:
+            assert ev.other is not None and ev.key is not None
+            eid = canonical_edge(ev.node, ev.other, self.directed)
+            attrs = self._edge_attrs.get(eid)
+            if attrs is None or ev.key not in attrs:
+                if strict:
+                    raise EventError(f"edge attribute {ev.key} missing on {eid}")
+                return
+            del attrs[ev.key]
+        else:  # pragma: no cover - exhaustive over EventKind
+            raise EventError(f"unknown event kind {kind!r}")
+
+    def apply_events(self, events: Iterable[Event], strict: bool = False) -> None:
+        for ev in events:
+            self.apply_event(ev, strict=strict)
+
+    @classmethod
+    def replay(
+        cls,
+        events: Iterable[Event],
+        until: Optional[TimePoint] = None,
+        directed: bool = False,
+    ) -> "Graph":
+        """Materialize the snapshot as of ``until`` by replaying ``events``.
+
+        Events with ``time > until`` are ignored.  This is the ground-truth
+        (*Log*) reconstruction every index implementation is tested against.
+        """
+        g = cls(directed=directed)
+        for ev in events:
+            if until is not None and ev.time > until:
+                break
+            g.apply_event(ev)
+        return g
+
+    # ------------------------------------------------------------------
+    # structural queries
+    # ------------------------------------------------------------------
+    def subgraph(self, nodes: Iterable[NodeId]) -> "Graph":
+        """Induced subgraph on ``nodes`` (missing ids are ignored)."""
+        keep = {n for n in nodes if n in self._nodes}
+        sub = Graph(directed=self.directed)
+        for n in keep:
+            sub.add_node(n, self._nodes[n])
+        for (u, v), attrs in self._edge_attrs.items():
+            if u in keep and v in keep:
+                sub.add_edge(u, v, attrs)
+        return sub
+
+    def khop_nodes(self, root: NodeId, k: int) -> Set[NodeId]:
+        """Ids of all nodes within ``k`` hops of ``root`` (including it)."""
+        if root not in self._nodes:
+            raise GraphError(f"node {root} not in graph")
+        seen = {root}
+        frontier = {root}
+        for _ in range(k):
+            nxt: Set[NodeId] = set()
+            for n in frontier:
+                nxt |= self._adj[n]
+            nxt -= seen
+            if not nxt:
+                break
+            seen |= nxt
+            frontier = nxt
+        return seen
+
+    def khop_subgraph(self, root: NodeId, k: int) -> "Graph":
+        """Induced subgraph on the k-hop neighborhood of ``root``."""
+        return self.subgraph(self.khop_nodes(root, k))
+
+    def copy(self) -> "Graph":
+        g = Graph(directed=self.directed)
+        g._nodes = {n: dict(a) for n, a in self._nodes.items()}
+        g._adj = {n: set(s) for n, s in self._adj.items()}
+        g._edge_attrs = {e: dict(a) for e, a in self._edge_attrs.items()}
+        return g
+
+    def to_networkx(self):  # pragma: no cover - thin convenience shim
+        """Export to a ``networkx`` graph for interoperability."""
+        import networkx as nx
+
+        g = nx.DiGraph() if self.directed else nx.Graph()
+        for n, attrs in self._nodes.items():
+            g.add_node(n, **attrs)
+        for (u, v), attrs in self._edge_attrs.items():
+            g.add_edge(u, v, **attrs)
+        return g

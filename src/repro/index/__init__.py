@@ -1,0 +1,29 @@
+"""Historical graph indexes: baselines, DeltaGraph and TGI."""
+
+from repro.index.interface import (
+    HistoricalGraphIndex,
+    NeighborhoodHistory,
+    NodeHistory,
+    evolve_node_state,
+)
+from repro.index.log import LogIndex
+from repro.index.copy import CopyIndex
+from repro.index.copylog import CopyLogIndex
+from repro.index.nodecentric import NodeCentricIndex
+from repro.index.deltagraph import DeltaGraphIndex
+from repro.index.tgi import TGI, TGIConfig, PartitioningStrategy
+
+__all__ = [
+    "HistoricalGraphIndex",
+    "NodeHistory",
+    "NeighborhoodHistory",
+    "evolve_node_state",
+    "LogIndex",
+    "CopyIndex",
+    "CopyLogIndex",
+    "NodeCentricIndex",
+    "DeltaGraphIndex",
+    "TGI",
+    "TGIConfig",
+    "PartitioningStrategy",
+]

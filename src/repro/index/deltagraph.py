@@ -1,0 +1,153 @@
+"""DeltaGraph (Khurana & Deshpande, ICDE 2013) — the authors' prior index.
+
+A hierarchical temporal-compression tree over periodic checkpoints plus
+eventlists, stored as *monolithic* deltas (no partitioning, no version
+chains).  Snapshot retrieval reads one root→leaf path plus trailing
+eventlists (``h·|S| + |E|`` in Table 1); node-version queries degrade to
+scanning whole eventlists, which is precisely the gap TGI closes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.deltas.base import Delta
+from repro.deltas.eventlist import EventList, split_events_into_lists
+from repro.errors import TimeRangeError
+from repro.graph.events import Event
+from repro.graph.static import Graph
+from repro.index.common import snapshot_delta_of_graph, static_node_from_graph
+from repro.index.delta_tree import DeltaTree, build_delta_tree
+from repro.index.interface import HistoricalGraphIndex, NodeHistory, evolve_node_state
+from repro.kvstore.cluster import Cluster, ClusterConfig
+from repro.types import NodeId, TimePoint
+
+
+class DeltaGraphIndex(HistoricalGraphIndex):
+    """Hierarchical snapshot-difference index over the simulated cluster.
+
+    Args:
+        eventlist_size: events per eventlist (``l``); checkpoints are taken
+            at every eventlist boundary.
+        arity: fan-out ``k`` of the compression tree.
+    """
+
+    def __init__(
+        self,
+        cluster_config: Optional[ClusterConfig] = None,
+        eventlist_size: int = 1000,
+        arity: int = 2,
+        placement_groups: int = 4,
+    ) -> None:
+        super().__init__()
+        self.cluster = Cluster(cluster_config)
+        self.eventlist_size = eventlist_size
+        self.arity = arity
+        self.placement_groups = placement_groups
+        self._tree: Optional[DeltaTree] = None
+        self._checkpoint_times: List[TimePoint] = []
+        self._list_meta: List[Tuple[TimePoint, TimePoint, tuple]] = []
+        self._t_max: Optional[TimePoint] = None
+
+    # ------------------------------------------------------------------
+    def _delta_key(self, did: int) -> tuple:
+        return (0, did % self.placement_groups, ("S", did), 0)
+
+    def _list_key(self, idx: int) -> tuple:
+        return (0, idx % self.placement_groups, ("E", idx), 0)
+
+    def build(self, events: Sequence[Event]) -> None:
+        if not events:
+            raise TimeRangeError("cannot build an index over an empty history")
+        lists = split_events_into_lists(list(events), self.eventlist_size)
+        g = Graph()
+        leaf_deltas: List[Delta] = []
+        # checkpoint 0 is the (empty) state before the first eventlist
+        self._checkpoint_times.append(events[0].time - 1)
+        leaf_deltas.append(snapshot_delta_of_graph(g))
+        for i, el in enumerate(lists):
+            ekey = self._list_key(i)
+            self.cluster.put(ekey, el)
+            self._list_meta.append((el.ts, el.te, ekey))
+            el.apply_to(g)
+            self._checkpoint_times.append(el.te)
+            leaf_deltas.append(snapshot_delta_of_graph(g))
+        tree, stored = build_delta_tree(leaf_deltas, self.arity)
+        self._tree = tree
+        for did, delta in stored.items():
+            self.cluster.put(self._delta_key(did), delta)
+        self._t_max = events[-1].time
+
+    # ------------------------------------------------------------------
+    def _leaf_at(self, t: TimePoint) -> int:
+        if self._t_max is None or self._tree is None:
+            raise TimeRangeError("index is empty")
+        if t > self._t_max:
+            raise TimeRangeError(f"time {t} beyond indexed history ({self._t_max})")
+        pos = bisect.bisect_right(self._checkpoint_times, t) - 1
+        if pos < 0:
+            raise TimeRangeError(f"time {t} precedes indexed history")
+        return pos
+
+    def _plan_keys(self, t: TimePoint) -> Tuple[List[tuple], List[tuple], TimePoint]:
+        """Root→leaf delta keys plus eventlist keys covering (leaf, t]."""
+        assert self._tree is not None
+        leaf = self._leaf_at(t)
+        path_keys = [self._delta_key(d) for d in self._tree.path_to_leaf(leaf)]
+        cp_time = self._checkpoint_times[leaf]
+        ekeys = [
+            key for (lts, _lte, key) in self._list_meta if lts >= cp_time and lts < t
+        ]
+        return path_keys, ekeys, cp_time
+
+    def _reconstruct(self, values: Dict[tuple, object], path_keys: List[tuple]) -> Delta:
+        acc = Delta()
+        for key in path_keys:
+            acc = acc + values[key]  # type: ignore[operator]
+        return acc
+
+    def get_snapshot(self, t: TimePoint, clients: int = 1) -> Graph:
+        path_keys, ekeys, _cp = self._plan_keys(t)
+        values, stats = self.cluster.multiget([*path_keys, *ekeys], clients=clients)
+        self.last_fetch_stats = stats
+        g = self._reconstruct(values, path_keys).to_graph()
+        for key in ekeys:
+            el: EventList = values[key]  # type: ignore[assignment]
+            for ev in el:
+                if ev.time > t:
+                    break
+                g.apply_event(ev)
+        return g
+
+    def get_node_history(
+        self, node: NodeId, ts: TimePoint, te: TimePoint, clients: int = 1
+    ) -> NodeHistory:
+        path_keys, ekeys_init, cp_time = self._plan_keys(ts)
+        init_set = set(ekeys_init)
+        ekeys_range = [
+            key
+            for (lts, lte, key) in self._list_meta
+            if lte > ts and lts < te and key not in init_set
+        ]
+        keys = [*path_keys, *ekeys_init, *ekeys_range]
+        values, stats = self.cluster.multiget(keys, clients=clients)
+        self.last_fetch_stats = stats
+
+        base = self._reconstruct(values, path_keys).to_graph()
+        state = static_node_from_graph(base, node)
+        changes: List[Event] = []
+        for key in [*ekeys_init, *ekeys_range]:
+            el: EventList = values[key]  # type: ignore[assignment]
+            for ev in el:
+                if ev.time <= ts:
+                    if ev.time > cp_time:
+                        state = evolve_node_state(state, ev, node)
+                elif ev.time <= te and ev.touches(node):
+                    changes.append(ev)
+        changes = self._dedup_events(changes)
+        return NodeHistory(node, ts, te, state, tuple(changes))
+
+    @property
+    def tree_height(self) -> int:
+        return self._tree.height if self._tree else 0

@@ -1,0 +1,91 @@
+"""The *Log* baseline index (paper Sec. 2 / 4.2).
+
+Stores nothing but eventlists: minimal space (``|G|`` in Table 1), but
+every retrieval replays history from the beginning — snapshot cost
+``Σ|∆| = |G|``, i.e. proportional to the number of changes ever made.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.deltas.eventlist import EventList, split_events_into_lists
+from repro.errors import TimeRangeError
+from repro.graph.events import Event
+from repro.graph.static import Graph
+from repro.index.interface import HistoricalGraphIndex, NodeHistory, evolve_node_state
+from repro.kvstore.cluster import Cluster, ClusterConfig
+from repro.types import NodeId, TimePoint
+
+
+class LogIndex(HistoricalGraphIndex):
+    """Pure event-log index over the simulated key-value cluster.
+
+    Args:
+        cluster_config: shape of the backing store.
+        eventlist_size: events per stored eventlist row (``l``).
+        placement_groups: how many placement keys to spread rows over
+          (``ns`` in the paper's notation).
+    """
+
+    def __init__(
+        self,
+        cluster_config: Optional[ClusterConfig] = None,
+        eventlist_size: int = 1000,
+        placement_groups: int = 4,
+    ) -> None:
+        super().__init__()
+        self.cluster = Cluster(cluster_config)
+        self.eventlist_size = eventlist_size
+        self.placement_groups = placement_groups
+        # metadata: (ts, te, key) per eventlist, chronological
+        self._lists: List[Tuple[TimePoint, TimePoint, tuple]] = []
+        self._t_min: Optional[TimePoint] = None
+        self._t_max: Optional[TimePoint] = None
+
+    def build(self, events: Sequence[Event]) -> None:
+        lists = split_events_into_lists(list(events), self.eventlist_size)
+        for i, el in enumerate(lists):
+            key = (0, i % self.placement_groups, ("E", i), 0)
+            self.cluster.put(key, el)
+            self._lists.append((el.ts, el.te, key))
+        if events:
+            self._t_min = events[0].time
+            self._t_max = events[-1].time
+
+    def _check_time(self, t: TimePoint) -> None:
+        if self._t_max is None:
+            raise TimeRangeError("index is empty")
+        if t > self._t_max:
+            raise TimeRangeError(f"time {t} beyond indexed history ({self._t_max})")
+
+    def _fetch_lists_until(self, t: TimePoint, clients: int) -> List[EventList]:
+        keys = [key for (ts, _te, key) in self._lists if ts < t]
+        values, stats = self.cluster.multiget(keys, clients=clients)
+        self.last_fetch_stats = stats
+        return [values[k] for k in keys]
+
+    def get_snapshot(self, t: TimePoint, clients: int = 1) -> Graph:
+        self._check_time(t)
+        g = Graph()
+        for el in self._fetch_lists_until(t, clients):
+            for ev in el:
+                if ev.time > t:
+                    break
+                g.apply_event(ev)
+        return g
+
+    def get_node_history(
+        self, node: NodeId, ts: TimePoint, te: TimePoint, clients: int = 1
+    ) -> NodeHistory:
+        self._check_time(te)
+        lists = self._fetch_lists_until(te + 1, clients)
+        state = None
+        versions: List[Event] = []
+        for el in lists:
+            for ev in el:
+                if ev.time <= ts:
+                    state = evolve_node_state(state, ev, node)
+                elif ev.time <= te and ev.touches(node):
+                    versions.append(ev)
+        return NodeHistory(node, ts, te, state, tuple(versions))

@@ -1,0 +1,232 @@
+"""TGI construction (paper Sec. 4.4, "Construction and Update").
+
+Construction proceeds a timespan at a time (Fig. 4):
+
+1. the span's evolving graph is collapsed with Ω and partitioned into
+   micro-partitions (random hash or locality-aware min-cut, Sec. 4.5);
+2. the span's events are chopped into eventlists (size ``l``), defining the
+   checkpoint times;
+3. a temporal-compression tree is built over the checkpoint snapshots and
+   every stored delta is micro-partitioned (size ``ps``) before being
+   written to the cluster, together with partitioned eventlists, optional
+   auxiliary (boundary-replica) micros, and version-chain records.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.deltas.base import Delta, StaticEdge, StaticNode
+from repro.deltas.eventlist import EventList, split_events_into_lists
+from repro.graph.events import Event
+from repro.graph.static import Graph
+from repro.index.common import snapshot_delta_of_graph
+from repro.index.delta_tree import build_delta_tree
+from repro.index.tgi.config import PartitioningStrategy, TGIConfig
+from repro.index.tgi.layout import (
+    TAG_AUX_EVENTLIST,
+    TAG_AUX_SNAPSHOT,
+    TAG_EVENTLIST,
+    TAG_SNAPSHOT,
+    TimespanInfo,
+    delta_key,
+    sid_of_pid,
+)
+from repro.index.tgi.version_chain import VersionChainStore
+from repro.kvstore.cluster import Cluster
+from repro.partitioning.mincut import MinCutPartitioner
+from repro.partitioning.random_part import hash_partition
+from repro.partitioning.temporal import collapse, partition_timespan
+from repro.types import NodeId, TimePoint
+
+
+def _split_delta_by_pid(
+    delta: Delta, pid_of: Dict[NodeId, int], num_pids: int
+) -> Dict[int, Delta]:
+    """Primary micro-partitioning: static nodes go to their pid; attributed
+    static edges go to both endpoints' pids (paper Example 5)."""
+    out: Dict[int, Delta] = {}
+
+    def bucket(pid: int) -> Delta:
+        d = out.get(pid)
+        if d is None:
+            d = Delta()
+            out[pid] = d
+        return d
+
+    for comp in delta:
+        if isinstance(comp, StaticNode):
+            pid = pid_of.get(comp.I)
+            if pid is not None:
+                bucket(pid).put(comp)
+        else:
+            pids = {pid_of.get(comp.u), pid_of.get(comp.v)} - {None}
+            for pid in pids:
+                bucket(pid).put(comp)  # type: ignore[arg-type]
+    return out
+
+
+def _split_aux_by_pid(
+    delta: Delta,
+    boundary: Dict[int, FrozenSet[NodeId]],
+    members: Dict[int, Set[NodeId]],
+) -> Dict[int, Delta]:
+    """Auxiliary micros: for each pid, replicas of its boundary nodes plus
+    attributed edges among the pid's scope that touch the boundary."""
+    out: Dict[int, Delta] = {}
+    for pid, bnd in boundary.items():
+        if not bnd:
+            continue
+        scope = members.get(pid, set()) | set(bnd)
+        aux = Delta()
+        for comp in delta:
+            if isinstance(comp, StaticNode):
+                if comp.I in bnd:
+                    aux.put(comp)
+            else:
+                touches_boundary = comp.u in bnd or comp.v in bnd
+                inside_scope = comp.u in scope and comp.v in scope
+                if touches_boundary and inside_scope:
+                    aux.put(comp)
+        if len(aux):
+            out[pid] = aux
+    return out
+
+
+def build_timespan(
+    tsid: int,
+    initial: Graph,
+    span_events: Sequence[Event],
+    t_start: TimePoint,
+    t_end: TimePoint,
+    config: TGIConfig,
+    cluster: Cluster,
+    vc_store: VersionChainStore,
+) -> TimespanInfo:
+    """Construct and persist one timespan; mutates ``initial`` to the state
+    at the end of the span (so spans chain during a full build)."""
+    # ---- dynamic partitioning (Sec. 4.5) -----------------------------
+    collapsed = collapse(
+        initial, span_events, t_start, t_end,
+        config.collapse, config.node_weighting,
+    )
+    alive = list(collapsed.nodes)
+    num_pids = max(1, math.ceil(len(alive) / config.micro_partition_size))
+    if config.partitioning is PartitioningStrategy.MINCUT and num_pids > 1:
+        partitioning = MinCutPartitioner(seed=tsid + 7).partition(
+            collapsed.nodes,
+            collapsed.edges,
+            num_pids,
+            edge_weights=collapsed.edge_weights,
+            node_weights=collapsed.node_weights,
+        )
+        node_pid = dict(partitioning.assignment)
+    else:
+        node_pid = {
+            n: hash_partition(n, num_pids, salt=1000 + tsid) for n in alive
+        }
+
+    members: Dict[int, Set[NodeId]] = {pid: set() for pid in range(num_pids)}
+    for n, pid in node_pid.items():
+        members[pid].add(n)
+
+    boundary: Dict[int, FrozenSet[NodeId]] = {}
+    if config.replicate_boundary:
+        raw: Dict[int, Set[NodeId]] = {pid: set() for pid in range(num_pids)}
+        for (u, v) in collapsed.edges:
+            pu, pv = node_pid.get(u), node_pid.get(v)
+            if pu is None or pv is None or pu == pv:
+                continue
+            raw[pu].add(v)
+            raw[pv].add(u)
+        boundary = {pid: frozenset(nodes) for pid, nodes in raw.items()}
+
+    # ---- eventlists and checkpoints -----------------------------------
+    lists = split_events_into_lists(list(span_events), config.eventlist_size)
+    checkpoints: List[TimePoint] = [t_start - 1]
+    eventlist_ranges: List[Tuple[TimePoint, TimePoint]] = []
+    leaf_deltas: List[Delta] = [snapshot_delta_of_graph(initial)]
+    for el in lists:
+        el = EventList(checkpoints[-1], el.te, el.events)  # align scopes
+        eventlist_ranges.append((el.ts, el.te))
+        el.apply_to(initial)
+        checkpoints.append(el.te)
+        leaf_deltas.append(snapshot_delta_of_graph(initial))
+
+    tree, stored = build_delta_tree(leaf_deltas, config.arity)
+
+    info = TimespanInfo(
+        tsid=tsid,
+        t_start=t_start,
+        t_end=t_end,
+        checkpoints=checkpoints,
+        eventlist_ranges=eventlist_ranges,
+        tree=tree,
+        num_pids=num_pids,
+        node_pid=node_pid,
+        boundary=boundary,
+    )
+
+    # ---- persist tree deltas as micros ---------------------------------
+    ns = config.placement_groups
+    for did, delta in stored.items():
+        micros = _split_delta_by_pid(delta, node_pid, num_pids)
+        pids = sorted(pid for pid, d in micros.items() if len(d))
+        info.snapshot_pids[did] = pids
+        for pid in pids:
+            cluster.put(
+                delta_key(tsid, sid_of_pid(pid, ns), TAG_SNAPSHOT, did, pid),
+                micros[pid],
+            )
+        if config.replicate_boundary:
+            aux = _split_aux_by_pid(delta, boundary, members)
+            apids = sorted(aux)
+            info.aux_snapshot_pids[did] = apids
+            for pid in apids:
+                cluster.put(
+                    delta_key(
+                        tsid, sid_of_pid(pid, ns), TAG_AUX_SNAPSHOT, did, pid
+                    ),
+                    aux[pid],
+                )
+
+    # ---- persist partitioned eventlists + version chains ----------------
+    for j, (ts, te) in enumerate(eventlist_ranges):
+        el = lists[j]
+        primary: Dict[int, List[Event]] = {}
+        auxiliary: Dict[int, List[Event]] = {}
+        node_span: Dict[Tuple[int, NodeId], Tuple[TimePoint, TimePoint]] = {}
+        for ev in el:
+            touched_pids: Set[int] = set()
+            for entity in set(ev.entities):
+                pid = node_pid.get(entity)
+                if pid is None:
+                    continue
+                touched_pids.add(pid)
+                lo, hi = node_span.get((pid, entity), (ev.time, ev.time))
+                node_span[(pid, entity)] = (min(lo, ev.time), max(hi, ev.time))
+            for pid in touched_pids:
+                primary.setdefault(pid, []).append(ev)
+            if config.replicate_boundary:
+                for pid, bnd in boundary.items():
+                    if pid in touched_pids:
+                        continue
+                    if any(entity in bnd for entity in ev.entities):
+                        auxiliary.setdefault(pid, []).append(ev)
+
+        info.eventlist_pids[j] = sorted(primary)
+        for pid, evs in primary.items():
+            key = delta_key(tsid, sid_of_pid(pid, ns), TAG_EVENTLIST, j, pid)
+            cluster.put(key, EventList(ts, te, tuple(evs)))
+        info.aux_eventlist_pids[j] = sorted(auxiliary)
+        for pid, evs in auxiliary.items():
+            cluster.put(
+                delta_key(tsid, sid_of_pid(pid, ns), TAG_AUX_EVENTLIST, j, pid),
+                EventList(ts, te, tuple(evs)),
+            )
+        for (pid, node), (lo, hi) in node_span.items():
+            key = delta_key(tsid, sid_of_pid(pid, ns), TAG_EVENTLIST, j, pid)
+            vc_store.record(node, lo, hi, key)
+
+    return info

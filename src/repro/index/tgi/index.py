@@ -1,0 +1,336 @@
+"""The Temporal Graph Index — the paper's core contribution (Sec. 4).
+
+``TGI`` composes the timespan builder, the version-chain store and the
+partial-state query machinery into the full retrieval API:
+
+- :meth:`get_snapshot` — Algorithm 1 (path of derived partitioned
+  snapshots + trailing partitioned eventlists, fetched in parallel);
+- :meth:`get_node_history` — Algorithm 2 (targeted micro-delta fetch for
+  the state at ``ts``, version chain for the changes in ``(ts, te]``);
+- :meth:`get_khop` — Algorithm 4 (expand outward from the node's
+  micro-partition; with boundary replication a 1-hop fetch touches a
+  single partition's rows — Fig. 5d);
+- :meth:`get_khop_snapshot_first` — Algorithm 3 (fetch snapshot, filter);
+- :meth:`get_khop_history` — Algorithm 5 (inherited; center history plus
+  neighbor histories);
+- :meth:`update` — batch append of new events as fresh timespans.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.deltas.base import Delta
+from repro.deltas.eventlist import EventList
+from repro.errors import IndexError_, TimeRangeError
+from repro.graph.events import Event
+from repro.graph.static import Graph
+from repro.index.interface import HistoricalGraphIndex, NodeHistory
+from repro.index.tgi.build import build_timespan
+from repro.index.tgi.config import TGIConfig
+from repro.index.tgi.layout import (
+    DeltaKey,
+    TAG_AUX_EVENTLIST,
+    TAG_AUX_SNAPSHOT,
+    TAG_EVENTLIST,
+    TAG_SNAPSHOT,
+    TimespanInfo,
+    delta_key,
+    sid_of_pid,
+)
+from repro.index.tgi.query import PartialState, dedup_sorted
+from repro.index.tgi.version_chain import VersionChainStore
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.cost import FetchStats
+from repro.partitioning.temporal import timespan_boundaries
+from repro.types import NodeId, TimePoint
+
+
+class TGI(HistoricalGraphIndex):
+    """Temporal Graph Index over the simulated key-value cluster."""
+
+    def __init__(self, config: Optional[TGIConfig] = None) -> None:
+        super().__init__()
+        self.config = config or TGIConfig()
+        self.cluster = Cluster(self.config.cluster)
+        self._vc = VersionChainStore(self.cluster, self.config.placement_groups)
+        self._spans: List[TimespanInfo] = []
+        self._running = Graph()  # state at the end of indexed history
+        self._t_min: Optional[TimePoint] = None
+        self._t_max: Optional[TimePoint] = None
+
+    # ------------------------------------------------------------------
+    # construction + batch update
+    # ------------------------------------------------------------------
+    def build(self, events: Sequence[Event]) -> None:
+        if self._spans:
+            raise IndexError_("index already built; use update() to append")
+        if not events:
+            raise TimeRangeError("cannot build an index over an empty history")
+        self._append_spans(events)
+        self._t_min = events[0].time
+
+    def update(self, events: Sequence[Event]) -> None:
+        """Append a batch of new events (paper: updates are accepted in
+        batches of timespan length and merged as new timespans)."""
+        if not events:
+            return
+        if self._t_max is not None and events[0].time <= self._t_max:
+            raise IndexError_(
+                f"update events must come after t={self._t_max}"
+            )
+        self._append_spans(events)
+        if self._t_min is None:
+            self._t_min = events[0].time
+
+    def _append_spans(self, events: Sequence[Event]) -> None:
+        spans = timespan_boundaries(events, self.config.events_per_timespan)
+        cursor = 0
+        for (t_start, t_end) in spans:
+            span_events = []
+            while cursor < len(events) and events[cursor].time < t_end:
+                span_events.append(events[cursor])
+                cursor += 1
+            info = build_timespan(
+                len(self._spans),
+                self._running,
+                span_events,
+                t_start,
+                t_end,
+                self.config,
+                self.cluster,
+                self._vc,
+            )
+            self._spans.append(info)
+        self._vc.flush()
+        self._t_max = events[-1].time
+
+    # ------------------------------------------------------------------
+    # span / time navigation
+    # ------------------------------------------------------------------
+    def _span_at(self, t: TimePoint) -> TimespanInfo:
+        if not self._spans or self._t_max is None or self._t_min is None:
+            raise TimeRangeError("index is empty")
+        if t > self._t_max:
+            raise TimeRangeError(f"time {t} beyond indexed history ({self._t_max})")
+        if t < self._t_min:
+            raise TimeRangeError(f"time {t} precedes indexed history ({self._t_min})")
+        starts = [s.t_start for s in self._spans]
+        pos = bisect.bisect_right(starts, t) - 1
+        return self._spans[max(pos, 0)]
+
+    @property
+    def num_timespans(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------
+    # snapshot retrieval (Algorithm 1)
+    # ------------------------------------------------------------------
+    def _snapshot_plan(
+        self, span: TimespanInfo, t: TimePoint,
+        pids: Optional[Set[int]] = None, include_aux: bool = False,
+    ) -> Tuple[List[List[DeltaKey]], List[DeltaKey]]:
+        """Keys for the root→leaf path (grouped per tree node, in path
+        order) and for the trailing eventlists, optionally restricted to a
+        pid subset and extended with auxiliary rows."""
+        ns = self.config.placement_groups
+        leaf = span.leaf_at(t)
+        path_groups: List[List[DeltaKey]] = []
+        for did in span.tree.path_to_leaf(leaf):
+            group: List[DeltaKey] = []
+            for pid in span.snapshot_pids.get(did, []):
+                if pids is None or pid in pids:
+                    group.append(
+                        delta_key(span.tsid, sid_of_pid(pid, ns),
+                                  TAG_SNAPSHOT, did, pid)
+                    )
+            if include_aux:
+                for pid in span.aux_snapshot_pids.get(did, []):
+                    if pids is None or pid in pids:
+                        group.append(
+                            delta_key(span.tsid, sid_of_pid(pid, ns),
+                                      TAG_AUX_SNAPSHOT, did, pid)
+                        )
+            path_groups.append(group)
+        ekeys: List[DeltaKey] = []
+        for j in span.eventlists_between(leaf, t):
+            for pid in span.eventlist_pids.get(j, []):
+                if pids is None or pid in pids:
+                    ekeys.append(
+                        delta_key(span.tsid, sid_of_pid(pid, ns),
+                                  TAG_EVENTLIST, j, pid)
+                    )
+            if include_aux:
+                for pid in span.aux_eventlist_pids.get(j, []):
+                    if pids is None or pid in pids:
+                        ekeys.append(
+                            delta_key(span.tsid, sid_of_pid(pid, ns),
+                                      TAG_AUX_EVENTLIST, j, pid)
+                        )
+        return path_groups, ekeys
+
+    def get_snapshot(self, t: TimePoint, clients: int = 1) -> Graph:
+        span = self._span_at(t)
+        path_groups, ekeys = self._snapshot_plan(span, t)
+        flat = [k for group in path_groups for k in group] + ekeys
+        values, stats = self.cluster.multiget(flat, clients=clients)
+        self.last_fetch_stats = stats
+        acc = Delta()
+        for group in path_groups:
+            for key in group:
+                acc = acc + values[key]
+        g = acc.to_graph()
+        events = dedup_sorted(
+            ev
+            for key in ekeys
+            for ev in values[key]
+            if ev.time <= t
+        )
+        g.apply_events(events)
+        return g
+
+    # ------------------------------------------------------------------
+    # partial-state loading (shared by node / k-hop retrieval)
+    # ------------------------------------------------------------------
+    def _load_pids(
+        self,
+        span: TimespanInfo,
+        pids: Set[int],
+        t: TimePoint,
+        include_aux: bool,
+        clients: int,
+    ) -> Tuple[PartialState, Set[NodeId], FetchStats]:
+        """Reconstruct the states, at time ``t``, of all nodes covered by
+        ``pids`` (members plus boundary when ``include_aux``).  Returns the
+        partial state, the covered scope, and the fetch stats."""
+        scope: Set[NodeId] = set()
+        for pid in pids:
+            if include_aux:
+                scope |= span.scope_of(pid)
+            else:
+                scope |= {n for n, p in span.node_pid.items() if p == pid}
+        path_groups, ekeys = self._snapshot_plan(
+            span, t, pids=pids, include_aux=include_aux
+        )
+        flat = [k for group in path_groups for k in group] + ekeys
+        values, stats = self.cluster.multiget(flat, clients=clients)
+        state = PartialState(scope=scope)
+        for group in path_groups:
+            for key in group:
+                state.load_delta(values[key])
+        events = dedup_sorted(
+            ev for key in ekeys for ev in values[key] if ev.time <= t
+        )
+        state.apply_events(events)
+        return state, scope, stats
+
+    # ------------------------------------------------------------------
+    # node history (Algorithm 2)
+    # ------------------------------------------------------------------
+    def get_node_history(
+        self, node: NodeId, ts: TimePoint, te: TimePoint, clients: int = 1
+    ) -> NodeHistory:
+        span = self._span_at(ts)
+        total = FetchStats()
+
+        # state as of ts, via a targeted micro-delta fetch
+        initial = None
+        pid = span.pid_of(node)
+        if pid is not None:
+            path_groups, ekeys = self._snapshot_plan(span, ts, pids={pid})
+            flat = [k for group in path_groups for k in group] + ekeys
+            values, stats = self.cluster.multiget(flat, clients=clients)
+            total.merge(stats)
+            state = PartialState(scope={node})
+            for group in path_groups:
+                for key in group:
+                    state.load_delta(values[key])
+            state.apply_events(
+                dedup_sorted(
+                    ev for key in ekeys for ev in values[key] if ev.time <= ts
+                )
+            )
+            initial = state.node_state(node)
+
+        # changes in (ts, te], via the version chain
+        chain, vc_stats = self._vc.fetch(node, clients=clients)
+        total.merge(vc_stats)
+        keys = self._vc.pointers_in_range(chain, ts, te)
+        changes: List[Event] = []
+        if keys:
+            values, stats = self.cluster.multiget(keys, clients=clients)
+            total.merge(stats)
+            changes = dedup_sorted(
+                ev
+                for key in keys
+                for ev in values[key]
+                if ts < ev.time <= te and ev.touches(node)
+            )
+        self.last_fetch_stats = total
+        return NodeHistory(node, ts, te, initial, tuple(changes))
+
+    # ------------------------------------------------------------------
+    # k-hop neighborhood (Algorithms 3 and 4)
+    # ------------------------------------------------------------------
+    def get_khop(
+        self, node: NodeId, t: TimePoint, k: int = 1, clients: int = 1
+    ) -> Graph:
+        """Algorithm 4: start from the node's micro-partition and expand
+        outward, loading further partitions only when the frontier leaves
+        the already-covered scope."""
+        span = self._span_at(t)
+        include_aux = self.config.replicate_boundary
+        pid0 = span.pid_of(node)
+        if pid0 is None:
+            raise IndexError_(f"node {node} not alive at t={t}")
+
+        total = FetchStats()
+        merged = PartialState()
+        covered: Set[NodeId] = set()
+        loaded_pids: Set[int] = set()
+
+        def load(pids: Set[int]) -> None:
+            pids = pids - loaded_pids
+            if not pids:
+                return
+            state, scope, stats = self._load_pids(
+                span, pids, t, include_aux, clients
+            )
+            total.merge(stats)
+            loaded_pids.update(pids)
+            covered.update(scope)
+            for n, s in state.nodes.items():
+                merged.nodes.setdefault(n, s)
+            for e, a in state.edge_attrs.items():
+                merged.edge_attrs.setdefault(e, a)
+
+        load({pid0})
+        if merged.node_state(node) is None:
+            self.last_fetch_stats = total
+            raise IndexError_(f"node {node} not alive at t={t}")
+
+        members: Set[NodeId] = {node}
+        frontier: Set[NodeId] = {node}
+        for _ in range(k):
+            nxt: Set[NodeId] = set()
+            for n in frontier:
+                state = merged.node_state(n)
+                if state is not None:
+                    nxt |= state.E
+            nxt -= members
+            if not nxt:
+                break
+            missing = {n for n in nxt if n not in covered}
+            needed = {span.pid_of(n) for n in missing}
+            load({p for p in needed if p is not None})
+            members |= {n for n in nxt if merged.node_state(n) is not None}
+            frontier = {n for n in nxt if merged.node_state(n) is not None}
+        self.last_fetch_stats = total
+        return merged.to_graph(members)
+
+    def get_khop_snapshot_first(
+        self, node: NodeId, t: TimePoint, k: int = 1, clients: int = 1
+    ) -> Graph:
+        """Algorithm 3: fetch the whole snapshot, then filter to k hops."""
+        return super().get_khop(node, t, k=k, clients=clients)

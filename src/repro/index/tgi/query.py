@@ -1,0 +1,109 @@
+"""Query-side machinery for TGI: partial state reconstruction.
+
+A TGI fetch returns micro-deltas (checkpoint state for some scope of
+nodes) plus partitioned eventlists (changes since the checkpoint).
+:class:`PartialState` assembles these into per-node static states at the
+query time without materializing the full graph — the property that makes
+node- and neighborhood-centric retrieval cheap (Table 1's TGI row).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.deltas.base import Delta, StaticEdge, StaticNode
+from repro.graph.events import Event, EventKind
+from repro.graph.static import Graph
+from repro.index.interface import evolve_node_state
+from repro.types import AttrMap, EdgeId, NodeId, canonical_edge
+
+
+class PartialState:
+    """Mutable view of the states of a *scope* of nodes at one time point.
+
+    Load checkpoint deltas in root→leaf order (later loads override), then
+    apply events in chronological order; each operation is restricted to
+    the scope, so partitions can be reconstructed independently.
+    """
+
+    def __init__(self, scope: Optional[Set[NodeId]] = None) -> None:
+        self.scope = scope  # None = unrestricted
+        self.nodes: Dict[NodeId, StaticNode] = {}
+        self.edge_attrs: Dict[EdgeId, AttrMap] = {}
+
+    def _in_scope(self, node: NodeId) -> bool:
+        return self.scope is None or node in self.scope
+
+    # -- loading checkpoint deltas ----------------------------------------
+    def load_delta(self, delta: Delta) -> None:
+        for comp in delta:
+            if isinstance(comp, StaticNode):
+                if self._in_scope(comp.I):
+                    self.nodes[comp.I] = comp
+            else:
+                if self._in_scope(comp.u) or self._in_scope(comp.v):
+                    self.edge_attrs[(comp.u, comp.v)] = comp.attrs
+
+    # -- applying events ----------------------------------------------------
+    def apply_event(self, ev: Event) -> None:
+        for node in set(ev.entities):
+            if not self._in_scope(node):
+                continue
+            nxt = evolve_node_state(self.nodes.get(node), ev, node)
+            if nxt is None:
+                self.nodes.pop(node, None)
+            else:
+                self.nodes[node] = nxt
+        if ev.other is None:
+            return
+        eid = canonical_edge(ev.node, ev.other)
+        if not (self._in_scope(eid[0]) or self._in_scope(eid[1])):
+            return
+        if ev.kind == EventKind.EDGE_ADD:
+            if isinstance(ev.value, dict) and ev.value:
+                self.edge_attrs[eid] = dict(ev.value)
+            else:
+                self.edge_attrs.pop(eid, None)
+        elif ev.kind == EventKind.EDGE_DELETE:
+            self.edge_attrs.pop(eid, None)
+        elif ev.kind == EventKind.EDGE_ATTR_SET:
+            assert ev.key is not None
+            self.edge_attrs.setdefault(eid, {})[ev.key] = ev.value
+        elif ev.kind == EventKind.EDGE_ATTR_DEL:
+            attrs = self.edge_attrs.get(eid)
+            if attrs is not None:
+                attrs.pop(ev.key, None)
+                if not attrs:
+                    self.edge_attrs.pop(eid, None)
+
+    def apply_events(self, events: Iterable[Event]) -> None:
+        for ev in events:
+            self.apply_event(ev)
+
+    # -- reading out ---------------------------------------------------------
+    def node_state(self, node: NodeId) -> Optional[StaticNode]:
+        return self.nodes.get(node)
+
+    def to_graph(self, members: Iterable[NodeId], directed: bool = False) -> Graph:
+        """Induced graph on ``members`` using the reconstructed states."""
+        keep = {n for n in members if n in self.nodes}
+        g = Graph(directed=directed)
+        for n in keep:
+            g.add_node(n, self.nodes[n].attrs)
+        for n in keep:
+            for nbr in self.nodes[n].E:
+                if nbr in keep and not g.has_edge(n, nbr):
+                    eid = canonical_edge(n, nbr)
+                    g.add_edge(n, nbr, self.edge_attrs.get(eid))
+        return g
+
+
+def dedup_sorted(events: Iterable[Event]) -> List[Event]:
+    """Sort by (time, seq) and drop replicated copies (same seq)."""
+    seen: Set[int] = set()
+    out: List[Event] = []
+    for ev in sorted(events, key=Event.sort_key):
+        if ev.seq not in seen:
+            seen.add(ev.seq)
+            out.append(ev)
+    return out

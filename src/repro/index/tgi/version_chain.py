@@ -1,0 +1,89 @@
+"""Version chains (paper Sec. 4.3c): per-node chronological pointers to the
+eventlist rows holding that node's changes.
+
+A node's chain is one row in the cluster (the ``Versions`` table), keyed
+``(-1, hash(nid), ("V", nid), 0)``.  Each entry records the time range of
+the node's events inside one eventlist partition plus that partition's
+delta key, so a version query fetches exactly the rows it needs — the
+``∑1 = |V| + 1`` cost of Table 1 (the ``+1`` is the chain row itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.cost import FetchStats
+from repro.index.tgi.layout import DeltaKey, version_chain_key
+from repro.types import NodeId, TimePoint
+
+
+@dataclass(frozen=True)
+class VersionPointer:
+    """One chain entry: the node has events in ``[t_min, t_max]`` inside
+    the eventlist row at ``key``."""
+
+    t_min: TimePoint
+    t_max: TimePoint
+    key: DeltaKey
+
+
+class VersionChainStore:
+    """Builder + accessor for version-chain rows."""
+
+    def __init__(self, cluster: Cluster, placement_groups: int) -> None:
+        self._cluster = cluster
+        self._placement_groups = placement_groups
+        self._pending: Dict[NodeId, List[VersionPointer]] = {}
+        self._flushed: Dict[NodeId, int] = {}  # entries already persisted
+
+    # -- build side ------------------------------------------------------
+    def record(
+        self, node: NodeId, t_min: TimePoint, t_max: TimePoint, key: DeltaKey
+    ) -> None:
+        """Append a pointer for ``node`` (build-time accumulation)."""
+        self._pending.setdefault(node, []).append(
+            VersionPointer(t_min, t_max, key)
+        )
+
+    def flush(self) -> None:
+        """Write/rewrite the chain row of every node touched since the last
+        flush (used both at initial build and on batch update)."""
+        for node, entries in self._pending.items():
+            entries.sort(key=lambda p: (p.t_min, p.t_max))
+            self._cluster.put(
+                version_chain_key(node, self._placement_groups), tuple(entries)
+            )
+            self._flushed[node] = len(entries)
+        # pending doubles as the authoritative in-memory copy so updates
+        # can extend chains without re-reading rows
+
+    # -- query side --------------------------------------------------------
+    def fetch(
+        self, node: NodeId, clients: int = 1
+    ) -> Tuple[Tuple[VersionPointer, ...], FetchStats]:
+        """Costed fetch of one node's chain (empty chain for unknown nodes)."""
+        key = version_chain_key(node, self._placement_groups)
+        if node not in self._flushed:
+            return (), FetchStats()
+        values, stats = self._cluster.multiget([key], clients=clients)
+        return values[key], stats
+
+    def pointers_in_range(
+        self,
+        chain: Tuple[VersionPointer, ...],
+        ts: TimePoint,
+        te: TimePoint,
+    ) -> List[DeltaKey]:
+        """Delta keys whose entries overlap the query interval ``(ts, te]``,
+        deduplicated, in chain order."""
+        seen = set()
+        keys: List[DeltaKey] = []
+        for ptr in chain:
+            if ptr.t_max <= ts or ptr.t_min > te:
+                continue
+            if ptr.key not in seen:
+                seen.add(ptr.key)
+                keys.append(ptr.key)
+        return keys

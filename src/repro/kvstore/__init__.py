@@ -1,0 +1,17 @@
+"""Simulated distributed key-value store (the paper's Cassandra substrate)."""
+
+from repro.kvstore.cluster import Cluster, ClusterConfig
+from repro.kvstore.codec import EncodedValue, decode, encode
+from repro.kvstore.cost import CostModel, FetchStats
+from repro.kvstore.node import StorageNode
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "CostModel",
+    "FetchStats",
+    "StorageNode",
+    "encode",
+    "decode",
+    "EncodedValue",
+]

@@ -1,0 +1,255 @@
+"""The simulated distributed key-value cluster.
+
+Stands in for the Apache Cassandra deployment of the paper.  Rows are
+composite-keyed tuples; the *placement key* (a prefix of the composite key,
+``{tsid, sid}`` for TGI — paper Sec. 4.4 item 4) determines which machine
+holds the row, and the remaining *clustering key* orders rows within the machine
+so that micro-partitions of one delta can be scanned contiguously.
+
+Reads are executed through *fetch plans*: a multiget distributes key
+requests over ``c`` parallel clients, routes each to the least-loaded
+replica, sorts each server's requests in clustering order (contiguous scan
+discount), and returns both the decoded values and a
+:class:`~repro.kvstore.cost.FetchStats` with the simulated completion time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import KeyNotFound, StorageError
+from repro.kvstore.codec import EncodedValue, decode, encode
+from repro.kvstore.cost import (
+    CostModel,
+    FetchStats,
+    RequestRecord,
+    simulate_plan,
+)
+from repro.kvstore.node import StorageNode
+
+KeyTuple = Tuple
+
+
+def _stable_hash(value: Any) -> int:
+    """Deterministic hash (Python's builtin ``hash`` is salted per process)."""
+    digest = hashlib.blake2b(repr(value).encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster shape: ``m`` machines, replication factor ``r``."""
+
+    num_machines: int = 1
+    replication: int = 1
+    compress: bool = False
+    cost_model: CostModel = CostModel()
+
+    def __post_init__(self) -> None:
+        if self.num_machines < 1:
+            raise StorageError("cluster needs at least one machine")
+        if not (1 <= self.replication <= self.num_machines):
+            raise StorageError(
+                f"replication {self.replication} must be in "
+                f"[1, {self.num_machines}]"
+            )
+
+
+class Cluster:
+    """An ``m``-machine key-value store with replication and costed reads."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        self.machines = [StorageNode(i) for i in range(self.config.num_machines)]
+        self._placement_len: Optional[int] = None
+        self._down: set = set()
+
+    # ------------------------------------------------------------------
+    # failure injection
+    # ------------------------------------------------------------------
+    def fail_machine(self, machine_id: int) -> None:
+        """Mark a machine as unavailable; reads fall back to surviving
+        replicas (writes continue to target the configured replica set so
+        a recovered machine is simply stale — a simplification of
+        Cassandra's hinted handoff)."""
+        if not (0 <= machine_id < len(self.machines)):
+            raise StorageError(f"no machine {machine_id}")
+        self._down.add(machine_id)
+
+    def recover_machine(self, machine_id: int) -> None:
+        """Bring a failed machine back (its contents were retained)."""
+        self._down.discard(machine_id)
+
+    def _live_replicas(self, placement_key: KeyTuple) -> List[int]:
+        live = [m for m in self.replicas_for(placement_key)
+                if m not in self._down]
+        if not live:
+            raise StorageError(
+                f"all replicas down for placement {placement_key!r}"
+            )
+        return live
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def replicas_for(self, placement_key: KeyTuple) -> List[int]:
+        """Machines holding rows with this placement key: the hash owner
+        plus the next ``r - 1`` machines on the ring."""
+        m = self.config.num_machines
+        first = _stable_hash(placement_key) % m
+        return [(first + i) % m for i in range(self.config.replication)]
+
+    def _check_placement_len(self, placement_len: int) -> None:
+        if self._placement_len is None:
+            self._placement_len = placement_len
+        elif self._placement_len != placement_len:
+            raise StorageError(
+                "inconsistent placement-key length within one cluster"
+            )
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: KeyTuple, value: Any, placement_len: int = 2) -> None:
+        """Store ``value`` under composite ``key``.
+
+        ``placement_len`` is how many leading key components form the
+        placement key (2 for TGI's ``{tsid, sid}``).  Writes go to every
+        *live* replica; a machine that is down misses the write and stays
+        stale until rewritten.
+        """
+        self._check_placement_len(placement_len)
+        encoded = encode(value, compress=self.config.compress)
+        for machine_id in self.replicas_for(key[:placement_len]):
+            if machine_id not in self._down:
+                self.machines[machine_id].put(key, encoded)
+
+    def put_many(
+        self, rows: Iterable[Tuple[KeyTuple, Any]], placement_len: int = 2
+    ) -> None:
+        for key, value in rows:
+            self.put(key, value, placement_len=placement_len)
+
+    def delete(self, key: KeyTuple, placement_len: int = 2) -> None:
+        for machine_id in self.replicas_for(key[:placement_len]):
+            self.machines[machine_id].delete(key)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: KeyTuple) -> Any:
+        """Un-costed single read (used by metadata lookups and tests)."""
+        if self._placement_len is None:
+            raise KeyNotFound(f"empty cluster has no key {key!r}")
+        machine_id = self._live_replicas(key[: self._placement_len])[0]
+        return decode(self.machines[machine_id].get(key).payload)
+
+    def scan_prefix(self, prefix: KeyTuple) -> List[Tuple[KeyTuple, Any]]:
+        """Un-costed prefix scan against the primary replica of ``prefix``.
+
+        ``prefix`` must be at least as long as the placement key.
+        """
+        if self._placement_len is None:
+            return []
+        if len(prefix) < self._placement_len:
+            raise StorageError(
+                "scan prefix must include the full placement key"
+            )
+        machine_id = self._live_replicas(prefix[: self._placement_len])[0]
+        return [
+            (k, decode(v.payload))
+            for k, v in self.machines[machine_id].scan_prefix(prefix)
+        ]
+
+    def multiget(
+        self, keys: Sequence[KeyTuple], clients: int = 1
+    ) -> Tuple[Dict[KeyTuple, Any], FetchStats]:
+        """Costed parallel read of ``keys`` with ``clients`` parallel
+        fetchers.
+
+        Returns the decoded values and the fetch statistics, including the
+        simulated completion time of the plan.  Missing keys raise
+        :class:`KeyNotFound`.
+        """
+        if clients < 1:
+            raise StorageError("need at least one fetch client")
+        if self._placement_len is None:
+            if keys:
+                raise KeyNotFound(f"empty cluster has no key {keys[0]!r}")
+            return {}, FetchStats()
+        plen = self._placement_len
+        model = self.config.cost_model
+
+        # route every key to its least-loaded replica (greedy balancing --
+        # this is where replication r > 1 buys parallelism, Fig. 12c)
+        server_load: Dict[int, int] = {i: 0 for i in range(len(self.machines))}
+        assignment: Dict[KeyTuple, int] = {}
+        for key in keys:
+            replicas = self._live_replicas(key[:plen])
+            best = min(replicas, key=lambda mid: server_load[mid])
+            assignment[key] = best
+            server_load[best] += 1
+
+        # group per server and sort in clustering order for scan contiguity
+        per_server: Dict[int, List[KeyTuple]] = {}
+        for key in keys:
+            per_server.setdefault(assignment[key], []).append(key)
+
+        values: Dict[KeyTuple, Any] = {}
+        records: List[RequestRecord] = []
+        rr_client = 0
+        for server_id, server_keys in sorted(per_server.items()):
+            server_keys.sort()
+            node = self.machines[server_id]
+            prev_rank: Optional[int] = None
+            for key in server_keys:
+                encoded = node.get(key)
+                rank = node.rank(key)
+                contiguous = prev_rank is not None and rank == prev_rank + 1
+                prev_rank = rank
+                service = model.service_time(
+                    encoded.stored_size,
+                    encoded.raw_size,
+                    contiguous,
+                    encoded.compressed,
+                )
+                records.append(
+                    RequestRecord(
+                        key=key,
+                        server=server_id,
+                        client=rr_client % clients,
+                        stored_bytes=encoded.stored_size,
+                        raw_bytes=encoded.raw_size,
+                        contiguous=contiguous,
+                        compressed=encoded.compressed,
+                        service_ms=service,
+                    )
+                )
+                rr_client += 1
+                values[key] = decode(encoded.payload)
+
+        stats = FetchStats(requests=records)
+        stats.sim_time_ms = simulate_plan(records, model)
+        return values, stats
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def stored_bytes(self) -> int:
+        """Total bytes on disk across machines (replicas counted)."""
+        return sum(machine.stored_bytes for machine in self.machines)
+
+    @property
+    def unique_rows(self) -> int:
+        """Number of distinct keys (replicas not double-counted)."""
+        return len({k for machine in self.machines for k in machine._keys})
+
+    def __repr__(self) -> str:
+        cfg = self.config
+        return (
+            f"<Cluster m={cfg.num_machines} r={cfg.replication} "
+            f"rows={self.unique_rows} bytes={self.stored_bytes}>"
+        )

@@ -1,0 +1,50 @@
+"""Serialization of deltas and eventlists to bytes.
+
+The paper's prototype serialized deltas with Python's Pickle before writing
+them to Cassandra; we do the same (the library controls both ends, so
+pickle's trust model is acceptable here) and optionally compress with zlib
+— Fig. 13a of the paper evaluates compressed vs. uncompressed delta
+storage.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+#: Magic prefixes distinguish compressed from raw payloads so a store can
+#: hold a mix (e.g. after changing the config between builds).
+_RAW = b"R"
+_ZIP = b"Z"
+
+
+@dataclass(frozen=True)
+class EncodedValue:
+    """A serialized payload plus the sizes the cost model needs."""
+
+    payload: bytes
+    raw_size: int
+    stored_size: int
+    compressed: bool
+
+
+def encode(obj: Any, compress: bool = False, level: int = 6) -> EncodedValue:
+    """Serialize ``obj``; optionally zlib-compress the pickle stream."""
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if compress:
+        packed = _ZIP + zlib.compress(raw, level)
+        return EncodedValue(packed, len(raw), len(packed), True)
+    packed = _RAW + raw
+    return EncodedValue(packed, len(raw), len(packed), False)
+
+
+def decode(payload: bytes) -> Any:
+    """Inverse of :func:`encode`."""
+    tag, body = payload[:1], payload[1:]
+    if tag == _ZIP:
+        body = zlib.decompress(body)
+    elif tag != _RAW:
+        raise ValueError(f"unknown payload tag {tag!r}")
+    return pickle.loads(body)

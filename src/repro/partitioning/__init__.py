@@ -1,0 +1,37 @@
+"""Graph partitioning: random hash, multilevel min-cut, temporal collapse,
+edge-cut replication."""
+
+from repro.partitioning.base import Partitioner, Partitioning, edge_cut
+from repro.partitioning.mincut import MinCutPartitioner
+from repro.partitioning.random_part import RandomPartitioner, hash_partition
+from repro.partitioning.replication import (
+    AuxiliaryPartition,
+    build_auxiliary_partitions,
+    replication_factor,
+)
+from repro.partitioning.temporal import (
+    CollapseFunction,
+    CollapsedGraph,
+    NodeWeighting,
+    collapse,
+    partition_timespan,
+    timespan_boundaries,
+)
+
+__all__ = [
+    "Partitioner",
+    "Partitioning",
+    "edge_cut",
+    "MinCutPartitioner",
+    "RandomPartitioner",
+    "hash_partition",
+    "AuxiliaryPartition",
+    "build_auxiliary_partitions",
+    "replication_factor",
+    "CollapseFunction",
+    "CollapsedGraph",
+    "NodeWeighting",
+    "collapse",
+    "partition_timespan",
+    "timespan_boundaries",
+]

@@ -1,0 +1,272 @@
+"""Locality-aware min-cut partitioning (the paper's "Maxflow" strategy).
+
+A multilevel heuristic in the style of METIS/Kernighan-Lin:
+
+1. **Coarsen** the graph by repeated heavy-edge matching until it is small.
+2. **Initial partition** of the coarsest graph by weighted greedy region
+   growing (BFS from ``k`` seeds, always extending the lightest partition).
+3. **Uncoarsen + refine** with boundary Kernighan-Lin/Fiduccia-Mattheyses
+   moves that reduce the edge cut while respecting a balance constraint
+   ``|Pr| <= ceil(|V|/k) * (1 + eps)`` (paper Sec. 4.5's near-equal-size
+   constraint).
+
+This gives the locality contrast with random hashing that Fig. 15a
+measures, without depending on an external METIS binary.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import PartitioningError
+from repro.partitioning.base import Partitioner, Partitioning
+from repro.types import NodeId
+
+Edge = Tuple[NodeId, NodeId]
+
+
+class _WorkGraph:
+    """Mutable weighted graph used internally by the multilevel scheme."""
+
+    def __init__(self) -> None:
+        self.adj: Dict[int, Dict[int, float]] = {}
+        self.node_weight: Dict[int, float] = {}
+
+    @staticmethod
+    def build(
+        nodes: Iterable[NodeId],
+        edges: Iterable[Edge],
+        edge_weights: Optional[Mapping[Edge, float]],
+        node_weights: Optional[Mapping[NodeId, float]],
+    ) -> "_WorkGraph":
+        g = _WorkGraph()
+        for n in nodes:
+            g.adj[n] = {}
+            g.node_weight[n] = float(node_weights.get(n, 1.0)) if node_weights else 1.0
+        for e in edges:
+            u, v = e
+            if u == v or u not in g.adj or v not in g.adj:
+                continue
+            w = float(edge_weights.get(e, 1.0)) if edge_weights else 1.0
+            g.adj[u][v] = g.adj[u].get(v, 0.0) + w
+            g.adj[v][u] = g.adj[v].get(u, 0.0) + w
+        return g
+
+    def __len__(self) -> int:
+        return len(self.adj)
+
+
+def _heavy_edge_matching(g: _WorkGraph, rng: random.Random) -> Dict[int, int]:
+    """Match each node with its heaviest unmatched neighbor; returns a map
+    node -> representative (matched pairs share a representative)."""
+    rep: Dict[int, int] = {}
+    order = sorted(g.adj)
+    rng.shuffle(order)
+    matched: Set[int] = set()
+    for u in order:
+        if u in matched:
+            continue
+        best, best_w = None, -1.0
+        for v, w in g.adj[u].items():
+            if v not in matched and v != u and w > best_w:
+                best, best_w = v, w
+        if best is None:
+            rep[u] = u
+            matched.add(u)
+        else:
+            rep[u] = u
+            rep[best] = u
+            matched.add(u)
+            matched.add(best)
+    return rep
+
+
+def _coarsen(
+    g: _WorkGraph, rng: random.Random
+) -> Tuple[_WorkGraph, Dict[int, int]]:
+    """One level of coarsening; returns (coarse graph, fine->coarse map)."""
+    rep = _heavy_edge_matching(g, rng)
+    coarse = _WorkGraph()
+    for fine, r in rep.items():
+        if r not in coarse.adj:
+            coarse.adj[r] = {}
+            coarse.node_weight[r] = 0.0
+        coarse.node_weight[r] += g.node_weight[fine]
+    for u, nbrs in g.adj.items():
+        cu = rep[u]
+        for v, w in nbrs.items():
+            cv = rep[v]
+            if cu == cv:
+                continue
+            coarse.adj[cu][cv] = coarse.adj[cu].get(cv, 0.0) + w
+    return coarse, rep
+
+
+def _region_grow(
+    g: _WorkGraph, k: int, rng: random.Random, epsilon: float
+) -> Dict[int, int]:
+    """Initial k-way partition by weighted BFS region growing, respecting
+    the balance limit ``(total/k) * (1 + epsilon)`` during growth."""
+    nodes = sorted(g.adj)
+    if not nodes:
+        return {}
+    seeds = nodes if len(nodes) <= k else rng.sample(nodes, k)
+    total = sum(g.node_weight.values())
+    limit = (total / k) * (1.0 + epsilon) if k else total
+    assign: Dict[int, int] = {}
+    weights = [0.0] * k
+    frontiers: List[List[int]] = [[] for _ in range(k)]
+    for pid, s in enumerate(seeds):
+        assign[s] = pid % k
+        weights[pid % k] += g.node_weight[s]
+        frontiers[pid % k].append(s)
+    remaining = [n for n in nodes if n not in assign]
+    rng.shuffle(remaining)
+    pending = set(remaining)
+    while pending:
+        # grow the lightest partition first; respect the balance limit
+        order = sorted(range(k), key=lambda p: weights[p])
+        grew = False
+        for pid in order:
+            if weights[pid] >= limit:
+                continue
+            candidate = None
+            for u in frontiers[pid]:
+                for v in g.adj[u]:
+                    if v in pending:
+                        candidate = v
+                        break
+                if candidate is not None:
+                    break
+            if candidate is None:
+                continue
+            assign[candidate] = pid
+            weights[pid] += g.node_weight[candidate]
+            frontiers[pid].append(candidate)
+            pending.discard(candidate)
+            grew = True
+            break
+        if not grew:
+            # disconnected leftovers (or all frontiers stuck/full):
+            # assign to the lightest partition to keep balance
+            v = pending.pop()
+            pid = min(range(k), key=lambda p: weights[p])
+            assign[v] = pid
+            weights[pid] += g.node_weight[v]
+            frontiers[pid].append(v)
+    return assign
+
+
+def _refine(
+    g: _WorkGraph,
+    assign: Dict[int, int],
+    k: int,
+    epsilon: float,
+    passes: int,
+) -> None:
+    """Boundary KL/FM refinement: greedily move boundary nodes to the
+    neighboring partition with the best cut gain, within balance limits."""
+    weights = [0.0] * k
+    for n, pid in assign.items():
+        weights[pid] += g.node_weight[n]
+    total = sum(weights)
+    limit = (total / k) * (1.0 + epsilon) if k else total
+    floor = (total / k) * (1.0 - epsilon) if k else 0.0
+
+    def gains(u: int) -> Dict[int, float]:
+        by_part: Dict[int, float] = defaultdict(float)
+        for v, w in g.adj[u].items():
+            if v in assign:
+                by_part[assign[v]] += w
+        return by_part
+
+    for _ in range(passes):
+        moved = 0
+        for u in sorted(g.adj):
+            pu = assign[u]
+            by_part = gains(u)
+            internal = by_part.get(pu, 0.0)
+            best_pid, best_gain = pu, 0.0
+            for pid, w in by_part.items():
+                if pid == pu:
+                    continue
+                if weights[pid] + g.node_weight[u] > limit:
+                    continue
+                if weights[pu] - g.node_weight[u] < floor:
+                    continue
+                gain = w - internal
+                if gain > best_gain:
+                    best_pid, best_gain = pid, gain
+            if best_pid != pu:
+                assign[u] = best_pid
+                weights[pu] -= g.node_weight[u]
+                weights[best_pid] += g.node_weight[u]
+                moved += 1
+        if moved == 0:
+            break
+
+
+class MinCutPartitioner(Partitioner):
+    """Multilevel min-cut partitioner (paper's locality-aware "Maxflow").
+
+    Args:
+        coarsen_threshold: stop coarsening below this many nodes.
+        epsilon: allowed imbalance over the ideal partition weight.
+        refine_passes: boundary-refinement sweeps per level.
+        seed: RNG seed (the algorithm is deterministic given a seed).
+    """
+
+    def __init__(
+        self,
+        coarsen_threshold: int = 64,
+        epsilon: float = 0.10,
+        refine_passes: int = 4,
+        seed: int = 7,
+    ) -> None:
+        self.coarsen_threshold = coarsen_threshold
+        self.epsilon = epsilon
+        self.refine_passes = refine_passes
+        self.seed = seed
+
+    def partition(
+        self,
+        nodes: Iterable[NodeId],
+        edges: Iterable[Edge],
+        num_partitions: int,
+        edge_weights: Optional[Mapping[Edge, float]] = None,
+        node_weights: Optional[Mapping[NodeId, float]] = None,
+    ) -> Partitioning:
+        if num_partitions < 1:
+            raise PartitioningError("need at least one partition")
+        rng = random.Random(self.seed)
+        g = _WorkGraph.build(nodes, edges, edge_weights, node_weights)
+        if num_partitions == 1 or len(g) <= num_partitions:
+            assign = {n: i % num_partitions for i, n in enumerate(sorted(g.adj))}
+            return Partitioning(num_partitions, assign)
+
+        # coarsening phase
+        levels: List[Tuple[_WorkGraph, Dict[int, int]]] = []
+        current = g
+        while len(current) > max(self.coarsen_threshold, 2 * num_partitions):
+            coarse, rep = _coarsen(current, rng)
+            if len(coarse) >= len(current):  # matching made no progress
+                break
+            levels.append((current, rep))
+            current = coarse
+
+        # initial partition on the coarsest graph
+        assign = _region_grow(current, num_partitions, rng, self.epsilon)
+        _refine(current, assign, num_partitions, self.epsilon, self.refine_passes)
+
+        # uncoarsen + refine
+        for fine_graph, rep in reversed(levels):
+            fine_assign = {n: assign[rep[n]] for n in fine_graph.adj}
+            _refine(
+                fine_graph, fine_assign, num_partitions, self.epsilon,
+                self.refine_passes,
+            )
+            assign = fine_assign
+
+        return Partitioning(num_partitions, dict(assign))

@@ -1,0 +1,43 @@
+"""Random (hash-based) partitioning.
+
+The simplest strategy the paper considers (Sec. 4.5): assign each node by a
+deterministic hash of its id.  Minimal bookkeeping — the ``Micropartitions``
+metadata table is not needed — but locality is lost, so 1-hop queries touch
+many partitions (Fig. 15a's worst performer).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Mapping, Optional, Tuple
+
+from repro.partitioning.base import Partitioner, Partitioning
+from repro.types import NodeId
+
+
+def hash_partition(node: NodeId, num_partitions: int, salt: int = 0) -> int:
+    """Deterministic hash of a node id into ``[0, num_partitions)``."""
+    digest = hashlib.blake2b(
+        f"{salt}:{node}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % num_partitions
+
+
+class RandomPartitioner(Partitioner):
+    """Node-id hash partitioner (``fh : nid -> sid`` of Sec. 4.4)."""
+
+    def __init__(self, salt: int = 0) -> None:
+        self.salt = salt
+
+    def partition(
+        self,
+        nodes: Iterable[NodeId],
+        edges: Iterable[Tuple[NodeId, NodeId]],
+        num_partitions: int,
+        edge_weights: Optional[Mapping[Tuple[NodeId, NodeId], float]] = None,
+        node_weights: Optional[Mapping[NodeId, float]] = None,
+    ) -> Partitioning:
+        assignment = {
+            n: hash_partition(n, num_partitions, self.salt) for n in nodes
+        }
+        return Partitioning(num_partitions, assignment)

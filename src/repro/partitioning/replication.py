@@ -1,0 +1,109 @@
+"""1-hop edge-cut replication with auxiliary micro-deltas (paper Sec. 4.5,
+Fig. 5d).
+
+With locality-aware partitioning most of a node's neighbors sit in the same
+partition, but neighbors across a cut still force extra partition reads for
+1-hop queries.  TGI optionally replicates the *cut neighbors* of each
+partition into a separate **auxiliary** delta stored next to the partition:
+1-hop fetches then read (partition + auxiliary) — a single placement — while
+snapshot and node queries read only the primary partitions and pay nothing
+for the replication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Set, Tuple
+
+from repro.deltas.base import Delta, StaticEdge, StaticNode
+from repro.partitioning.base import Partitioning
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class AuxiliaryPartition:
+    """Replicated boundary state for one partition.
+
+    ``delta`` holds copies of every out-of-partition node adjacent to the
+    partition (with their attributes and edge lists restricted to edges
+    into this partition).
+    """
+
+    partition_id: int
+    delta: Delta
+
+    @property
+    def size(self) -> int:
+        return self.delta.size
+
+
+def build_auxiliary_partitions(
+    snapshot: Delta,
+    partitioning: Partitioning,
+) -> List[AuxiliaryPartition]:
+    """Compute the auxiliary (cut-replica) delta for every partition.
+
+    For each edge (u, v) crossing partitions, the static node ``v`` is
+    replicated into u's partition auxiliary (and vice versa), so a 1-hop
+    query on any node finds all neighbor states locally.
+    """
+    assign = partitioning.assignment
+    k = partitioning.num_partitions
+
+    nodes: Dict[NodeId, StaticNode] = {
+        c.I: c for c in snapshot if isinstance(c, StaticNode)
+    }
+    # neighbor map from both static edges and node edge-lists
+    neighbors: Dict[NodeId, Set[NodeId]] = {n: set() for n in nodes}
+    for comp in snapshot:
+        if isinstance(comp, StaticEdge):
+            if comp.u in neighbors:
+                neighbors[comp.u].add(comp.v)
+            if comp.v in neighbors:
+                neighbors[comp.v].add(comp.u)
+        else:
+            for nbr in comp.E:
+                neighbors[comp.I].add(nbr)
+                if nbr in neighbors:
+                    neighbors[nbr].add(comp.I)
+
+    replicas: List[Dict[NodeId, StaticNode]] = [{} for _ in range(k)]
+    for u, nbrs in neighbors.items():
+        pu = assign.get(u)
+        if pu is None:
+            continue
+        for v in nbrs:
+            pv = assign.get(v)
+            if pv is None or pv == pu:
+                continue
+            vnode = nodes.get(v)
+            if vnode is None:
+                continue
+            # replicate v into u's partition, edge list restricted to the
+            # neighbors of v that live in u's partition
+            existing = replicas[pu].get(v)
+            into_pu = frozenset(
+                w for w in neighbors.get(v, ()) if assign.get(w) == pu
+            )
+            if existing is None:
+                replicas[pu][v] = StaticNode(v, into_pu, vnode.A)
+            else:
+                replicas[pu][v] = StaticNode(v, existing.E | into_pu, vnode.A)
+
+    return [
+        AuxiliaryPartition(pid, Delta(sorted(reps.values(), key=lambda c: c.I)))
+        for pid, reps in enumerate(replicas)
+    ]
+
+
+def replication_factor(
+    partitioning: Partitioning,
+    auxiliaries: Iterable[AuxiliaryPartition],
+) -> float:
+    """Extra storage due to replication: replicated node states divided by
+    primary node count (0.0 means no replication was needed)."""
+    primary = len(partitioning.assignment)
+    if primary == 0:
+        return 0.0
+    replicated = sum(len(aux.delta) for aux in auxiliaries)
+    return replicated / primary

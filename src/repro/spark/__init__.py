@@ -1,0 +1,5 @@
+"""Miniature Spark-like RDD engine (the paper's TAF execution substrate)."""
+
+from repro.spark.rdd import JobStats, RDD, SparkContext, lpt_makespan
+
+__all__ = ["RDD", "SparkContext", "JobStats", "lpt_makespan"]

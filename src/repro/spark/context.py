@@ -1,0 +1,5 @@
+"""Backwards-compatible alias module: the context lives in ``rdd.py``."""
+
+from repro.spark.rdd import SparkContext
+
+__all__ = ["SparkContext"]

@@ -1,0 +1,62 @@
+"""Persistence for historical graph indexes.
+
+The paper's store is durable by virtue of Cassandra; the in-process
+reproduction offers explicit save/load instead, so a built index (the
+expensive part) can be reused across sessions and shipped with benchmark
+results.
+
+Format: a single pickle stream with a versioned envelope.  Pickle is
+appropriate here for the same reason it was in the paper's prototype
+("using Pickle ... for serialization"): the library writes and reads its
+own files.  Do not load index files from untrusted sources.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Union
+
+from repro.errors import HGSError
+from repro.index.interface import HistoricalGraphIndex
+
+_MAGIC = "hgs-index"
+_FORMAT_VERSION = 1
+
+
+class PersistenceError(HGSError):
+    """Raised on malformed or incompatible index files."""
+
+
+def save_index(index: HistoricalGraphIndex, path: Union[str, Path]) -> None:
+    """Serialize a built index (any of the six families) to ``path``."""
+    envelope = {
+        "magic": _MAGIC,
+        "format": _FORMAT_VERSION,
+        "class": type(index).__name__,
+        "index": index,
+    }
+    path = Path(path)
+    with path.open("wb") as f:
+        pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_index(path: Union[str, Path]) -> HistoricalGraphIndex:
+    """Load an index previously written by :func:`save_index`."""
+    path = Path(path)
+    try:
+        with path.open("rb") as f:
+            envelope = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError) as exc:
+        raise PersistenceError(f"cannot read index file {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("magic") != _MAGIC:
+        raise PersistenceError(f"{path} is not an HGS index file")
+    if envelope.get("format") != _FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported index format {envelope.get('format')!r} "
+            f"(this build reads version {_FORMAT_VERSION})"
+        )
+    index = envelope.get("index")
+    if not isinstance(index, HistoricalGraphIndex):
+        raise PersistenceError(f"{path} does not contain an index")
+    return index

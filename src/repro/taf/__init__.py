@@ -1,0 +1,31 @@
+"""Temporal Graph Analysis Framework (paper Sec. 5)."""
+
+from repro.taf.aggregation import TempAggregation, peaks, saturate, series_max, series_mean, series_min
+from repro.taf.expressions import date_ordinal, parse_entity_predicate, parse_time_expression
+from repro.taf.handler import ParallelFetchStats, TGIHandler
+from repro.taf.node_t import NodeT, SubgraphT
+from repro.taf.son import SON, SOTS, ComputedValues, TGraph, TemporalSeriesSet
+from repro.taf import patterns, timepoints
+
+__all__ = [
+    "SON",
+    "SOTS",
+    "NodeT",
+    "SubgraphT",
+    "TGraph",
+    "ComputedValues",
+    "TemporalSeriesSet",
+    "TGIHandler",
+    "ParallelFetchStats",
+    "TempAggregation",
+    "series_max",
+    "series_min",
+    "series_mean",
+    "peaks",
+    "saturate",
+    "timepoints",
+    "patterns",
+    "date_ordinal",
+    "parse_entity_predicate",
+    "parse_time_expression",
+]

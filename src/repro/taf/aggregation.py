@@ -1,0 +1,81 @@
+"""Temporal aggregation operators (paper operator 9, *TempAggregation*).
+
+These operate on scalar time series — lists of ``(time, value)`` pairs —
+as produced by ``Evolution`` and the ``NodeCompute*`` operators: Max, Min,
+Mean, Peak (local maxima, e.g. "times of peak network density") and
+Saturate (time after which the quantity stays near its final value).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import AnalyticsError
+from repro.types import TimePoint
+
+Series = Sequence[Tuple[TimePoint, float]]
+
+
+def series_max(series: Series) -> Tuple[TimePoint, float]:
+    """The (time, value) with the maximum value (earliest on ties)."""
+    if not series:
+        raise AnalyticsError("aggregate of empty series")
+    return max(series, key=lambda p: (p[1], -p[0]))
+
+
+def series_min(series: Series) -> Tuple[TimePoint, float]:
+    """The (time, value) with the minimum value (earliest on ties)."""
+    if not series:
+        raise AnalyticsError("aggregate of empty series")
+    return min(series, key=lambda p: (p[1], p[0]))
+
+
+def series_mean(series: Series) -> float:
+    """Unweighted mean of the values."""
+    if not series:
+        raise AnalyticsError("aggregate of empty series")
+    return sum(v for _, v in series) / len(series)
+
+
+def peaks(series: Series) -> List[Tuple[TimePoint, float]]:
+    """Local maxima: points strictly greater than both neighbors (series
+    endpoints qualify when greater than their single neighbor)."""
+    pts = list(series)
+    if len(pts) == 1:
+        return list(pts)
+    out: List[Tuple[TimePoint, float]] = []
+    for i, (t, v) in enumerate(pts):
+        left_ok = i == 0 or pts[i - 1][1] < v
+        right_ok = i == len(pts) - 1 or pts[i + 1][1] < v
+        if left_ok and right_ok:
+            out.append((t, v))
+    return out
+
+
+def saturate(series: Series, tolerance: float = 0.05) -> Optional[TimePoint]:
+    """Earliest time after which the value stays within ``tolerance``
+    (relative) of the final value; ``None`` if the series never settles
+    (i.e. only the last point qualifies)."""
+    pts = list(series)
+    if not pts:
+        raise AnalyticsError("aggregate of empty series")
+    final = pts[-1][1]
+    band = abs(final) * tolerance if final else tolerance
+    settle: Optional[TimePoint] = None
+    for t, v in pts:
+        if abs(v - final) <= band:
+            if settle is None:
+                settle = t
+        else:
+            settle = None
+    return settle
+
+
+class TempAggregation:
+    """Namespace mirroring the paper's TempAggregation operator family."""
+
+    Max = staticmethod(series_max)
+    Min = staticmethod(series_min)
+    Mean = staticmethod(series_mean)
+    Peak = staticmethod(peaks)
+    Saturate = staticmethod(saturate)

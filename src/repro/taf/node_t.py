@@ -1,0 +1,255 @@
+"""Temporal operands: NodeT and SubgraphT (paper Definitions 6-7).
+
+A **temporal node** (NodeT) is the sequence of all states of one node over
+a time range; physically it is stored exactly as the paper prescribes
+(Sec. 5.2): an initial snapshot of the node followed by a chronologically
+sorted list of events, with iterator-style access.
+
+A **temporal subgraph** (SubgraphT) generalizes NodeT to a set of nodes
+(typically a k-hop neighborhood) and can materialize an in-memory
+:class:`~repro.graph.static.Graph` as of any covered time point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.deltas.base import StaticNode
+from repro.errors import TimeRangeError
+from repro.graph.events import Event
+from repro.graph.static import Graph
+from repro.index.interface import NodeHistory, evolve_node_state
+from repro.types import AttrMap, NodeId, TimePoint, canonical_edge
+
+
+class NodeT:
+    """A node's full evolution over ``[ts, te]``."""
+
+    __slots__ = ("history",)
+
+    def __init__(self, history: NodeHistory) -> None:
+        self.history = history
+
+    # -- identity / range ---------------------------------------------------
+    @property
+    def node_id(self) -> NodeId:
+        return self.history.node
+
+    def get_start_time(self) -> TimePoint:
+        return self.history.ts
+
+    def get_end_time(self) -> TimePoint:
+        return self.history.te
+
+    # -- states ----------------------------------------------------------
+    def get_state_at(self, t: TimePoint) -> Optional[StaticNode]:
+        """The node's static state as of ``t``."""
+        return self.history.state_at(t)
+
+    def get_versions(self) -> List[Tuple[TimePoint, Optional[StaticNode]]]:
+        """All distinct (time, state) versions, oldest first."""
+        return self.history.versions()
+
+    def get_version_at(self, t: TimePoint) -> Optional[StaticNode]:
+        """Alias for :meth:`get_state_at` (paper's ``getVersionAt``)."""
+        return self.get_state_at(t)
+
+    def get_neighbor_ids_at(self, t: TimePoint) -> Set[NodeId]:
+        state = self.get_state_at(t)
+        return set(state.E) if state is not None else set()
+
+    def get_iterator(self) -> Iterator[Tuple[TimePoint, Optional[StaticNode]]]:
+        """Chronological iterator over versions (paper's ``GetIterator``)."""
+        return iter(self.get_versions())
+
+    def change_points(self) -> List[TimePoint]:
+        """Times at which the node's state changed (excluding ``ts``)."""
+        return [t for t, _ in self.get_versions()[1:]]
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        return self.history.events
+
+    def timeslice(self, ts: TimePoint, te: TimePoint) -> "NodeT":
+        """Restrict the temporal node to ``[ts, te]`` ⊆ its range."""
+        if ts > te:
+            raise TimeRangeError(f"inverted timeslice [{ts}, {te}]")
+        ts = max(ts, self.get_start_time())
+        te = min(te, self.get_end_time())
+        initial = self.history.state_at(ts)
+        events = tuple(
+            ev for ev in self.history.events if ts < ev.time <= te
+        )
+        return NodeT(NodeHistory(self.node_id, ts, te, initial, events))
+
+    def project_attrs(self, keys: Sequence[str]) -> "NodeT":
+        """Keep only the given attribute keys (the TAF ``Filter`` operator:
+        a projection along the attribute dimension of Fig. 6)."""
+        keep = set(keys)
+
+        def proj(state: Optional[StaticNode]) -> Optional[StaticNode]:
+            if state is None:
+                return None
+            attrs = {k: v for k, v in state.attrs.items() if k in keep}
+            return StaticNode.make(state.I, state.E, attrs)
+
+        def proj_event(ev: Event) -> Event:
+            # NODE_ADD / EDGE_ADD events may carry a full attribute map in
+            # their value; project it too so replay cannot reintroduce
+            # filtered-out attributes
+            if isinstance(ev.value, dict):
+                return Event(
+                    ev.time, ev.seq, ev.kind, ev.node, ev.other, ev.key,
+                    {k: v for k, v in ev.value.items() if k in keep},
+                    ev.old_value,
+                )
+            return ev
+
+        events = tuple(
+            proj_event(ev)
+            for ev in self.history.events
+            if ev.key is None or ev.key in keep
+        )
+        return NodeT(
+            NodeHistory(
+                self.node_id,
+                self.get_start_time(),
+                self.get_end_time(),
+                proj(self.history.initial),
+                events,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<NodeT id={self.node_id} range=[{self.get_start_time()}, "
+            f"{self.get_end_time()}] events={len(self.history.events)}>"
+        )
+
+
+class SubgraphT:
+    """Evolution of a subgraph (k-hop neighborhood) over ``[ts, te]``.
+
+    Holds the member nodes' temporal histories plus the edge-attribute
+    events among them; ``get_version_at`` materializes an in-memory
+    :class:`Graph` of the subgraph as of a time point.
+    """
+
+    __slots__ = ("center", "k", "members", "edge_attrs_initial")
+
+    def __init__(
+        self,
+        center: NodeId,
+        k: int,
+        members: Dict[NodeId, NodeT],
+        edge_attrs_initial: Optional[Dict[Tuple[NodeId, NodeId], AttrMap]] = None,
+    ) -> None:
+        self.center = center
+        self.k = k
+        self.members = members
+        self.edge_attrs_initial = edge_attrs_initial or {}
+
+    def get_start_time(self) -> TimePoint:
+        return min(nt.get_start_time() for nt in self.members.values())
+
+    def get_end_time(self) -> TimePoint:
+        return max(nt.get_end_time() for nt in self.members.values())
+
+    def member_ids(self) -> List[NodeId]:
+        return sorted(self.members)
+
+    def get_version_at(self, t: TimePoint) -> Graph:
+        """Materialize the subgraph state at ``t`` (induced on members that
+        are alive and within k hops of the center at ``t``)."""
+        g = Graph()
+        states: Dict[NodeId, StaticNode] = {}
+        for nid, nt in self.members.items():
+            if not (nt.get_start_time() <= t <= nt.get_end_time()):
+                continue
+            state = nt.get_state_at(t)
+            if state is not None:
+                states[nid] = state
+        for nid, state in states.items():
+            g.add_node(nid, state.attrs)
+        for nid, state in states.items():
+            for nbr in state.E:
+                if nbr in states and not g.has_edge(nid, nbr):
+                    eid = canonical_edge(nid, nbr)
+                    g.add_edge(nid, nbr, self.edge_attrs_initial.get(eid))
+        if g.has_node(self.center):
+            return g.khop_subgraph(self.center, self.k)
+        return g
+
+    def change_points(self) -> List[TimePoint]:
+        """Times at which the subgraph itself changes: the times of events
+        within the member set (cross-boundary edge events change a member
+        node's own edge list but not the induced subgraph, so they are
+        excluded — this keeps ``NodeComputeTemporal`` and
+        ``NodeComputeDelta`` on the same evaluation grid)."""
+        points: Set[TimePoint] = set()
+        for ev in self.member_events():
+            points.add(ev.time)
+        return sorted(points)
+
+    def events_sorted(self) -> List[Event]:
+        """All member events, deduplicated (edge events appear in both
+        endpoint histories) and sorted."""
+        seen: Set[int] = set()
+        out: List[Event] = []
+        for nt in self.members.values():
+            for ev in nt.events:
+                if ev.seq not in seen:
+                    seen.add(ev.seq)
+                    out.append(ev)
+        out.sort(key=Event.sort_key)
+        return out
+
+    def member_events(self) -> List[Event]:
+        """Events restricted to the member set (node events of members,
+        edge events with both endpoints among members), deduplicated and
+        sorted.  This is the event stream the ``NodeCompute*`` operators
+        replay; it matches :meth:`members_induced_at` semantics."""
+        keep = set(self.members)
+        out = []
+        for ev in self.events_sorted():
+            if ev.other is None:
+                if ev.node in keep:
+                    out.append(ev)
+            elif ev.node in keep and ev.other in keep:
+                out.append(ev)
+        return out
+
+    def members_induced_at(self, t: TimePoint) -> Graph:
+        """Induced graph on *all* member nodes alive at ``t`` (no k-hop
+        pruning) — the stable operand used by incremental computation."""
+        g = Graph()
+        states: Dict[NodeId, StaticNode] = {}
+        for nid, nt in self.members.items():
+            if not (nt.get_start_time() <= t <= nt.get_end_time()):
+                continue
+            state = nt.get_state_at(t)
+            if state is not None:
+                states[nid] = state
+        for nid, state in states.items():
+            g.add_node(nid, state.attrs)
+        for nid, state in states.items():
+            for nbr in state.E:
+                if nbr in states and not g.has_edge(nid, nbr):
+                    eid = canonical_edge(nid, nbr)
+                    g.add_edge(nid, nbr, self.edge_attrs_initial.get(eid))
+        return g
+
+    def timeslice(self, ts: TimePoint, te: TimePoint) -> "SubgraphT":
+        return SubgraphT(
+            self.center,
+            self.k,
+            {nid: nt.timeslice(ts, te) for nid, nt in self.members.items()},
+            self.edge_attrs_initial,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SubgraphT center={self.center} k={self.k} "
+            f"members={len(self.members)}>"
+        )

@@ -1,0 +1,285 @@
+"""Incremental temporal pattern counting (paper Sec. 5.2, "finding counts
+of a small pattern over time on an SoTS").
+
+The paper argues that pattern counts over long version sequences need
+auxiliary inverted indexes updated per event, so each event is processed in
+constant (amortized) time instead of re-matching the pattern on every new
+snapshot.  This module provides exactly that machinery for the classic
+small patterns:
+
+- :class:`EdgeCounter` — edges matching an attribute predicate;
+- :class:`WedgeCounter` — open two-paths (wedges) through any node;
+- :class:`TriangleCounter` — triangles;
+- :class:`LabeledEdgeCounter` — edges whose endpoints carry given labels.
+
+Each counter implements the incremental protocol used by
+``NodeComputeDelta``: ``initial(graph)`` computes the count on a snapshot
+and builds the auxiliary state; ``update(graph_before, event)`` folds one
+event and returns the new count.  A convenience :func:`count_over_time`
+runs a counter across a :class:`~repro.taf.node_t.SubgraphT`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import AnalyticsError
+from repro.graph.events import Event, EventKind
+from repro.graph.static import Graph
+from repro.taf.node_t import SubgraphT
+from repro.types import NodeId, TimePoint
+
+
+class IncrementalCounter(abc.ABC):
+    """Protocol for incrementally maintained pattern counts."""
+
+    @abc.abstractmethod
+    def initial(self, g: Graph) -> float:
+        """Count the pattern on a snapshot and build auxiliary state."""
+
+    @abc.abstractmethod
+    def update(self, g_before: Graph, ev: Event) -> float:
+        """Fold one event (``g_before`` is the graph *before* the event)
+        and return the updated count."""
+
+
+class EdgeCounter(IncrementalCounter):
+    """Count edges, optionally restricted by an edge-attribute predicate
+    evaluated at insertion time."""
+
+    def __init__(
+        self, predicate: Optional[Callable[[dict], bool]] = None
+    ) -> None:
+        self.predicate = predicate
+        self._count = 0
+        self._matched: set = set()
+
+    def initial(self, g: Graph) -> float:
+        self._matched = set()
+        for (u, v) in g.edges():
+            if self.predicate is None or self.predicate(g.edge_attrs(u, v)):
+                self._matched.add((u, v))
+        self._count = len(self._matched)
+        return self._count
+
+    def update(self, g_before: Graph, ev: Event) -> float:
+        if ev.kind == EventKind.EDGE_ADD and ev.edge is not None:
+            attrs = ev.value if isinstance(ev.value, dict) else {}
+            if self.predicate is None or self.predicate(attrs):
+                if ev.edge not in self._matched:
+                    self._matched.add(ev.edge)
+                    self._count += 1
+        elif ev.kind == EventKind.EDGE_DELETE and ev.edge is not None:
+            if ev.edge in self._matched:
+                self._matched.discard(ev.edge)
+                self._count -= 1
+        elif ev.kind == EventKind.NODE_DELETE:
+            for e in [e for e in self._matched if ev.node in e]:
+                self._matched.discard(e)
+                self._count -= 1
+        return self._count
+
+
+class WedgeCounter(IncrementalCounter):
+    """Count wedges (paths of length two): Σ_v C(deg(v), 2).
+
+    Auxiliary state is the degree map — the inverted index that lets each
+    edge event adjust the count in O(1).
+    """
+
+    def __init__(self) -> None:
+        self._degree: Dict[NodeId, int] = {}
+        self._count = 0
+
+    def initial(self, g: Graph) -> float:
+        self._degree = {v: g.degree(v) for v in g.nodes()}
+        self._count = sum(d * (d - 1) // 2 for d in self._degree.values())
+        return self._count
+
+    def _bump(self, node: NodeId, delta: int) -> None:
+        d = self._degree.get(node, 0)
+        # removing one edge from a degree-d node removes (d-1) wedges
+        if delta > 0:
+            self._count += d
+        else:
+            self._count -= d - 1
+        self._degree[node] = d + delta
+
+    def update(self, g_before: Graph, ev: Event) -> float:
+        if ev.kind == EventKind.EDGE_ADD and ev.other is not None:
+            self._bump(ev.node, +1)
+            self._bump(ev.other, +1)
+        elif ev.kind == EventKind.EDGE_DELETE and ev.other is not None:
+            self._bump(ev.node, -1)
+            self._bump(ev.other, -1)
+        elif ev.kind == EventKind.NODE_ADD:
+            self._degree.setdefault(ev.node, 0)
+        elif ev.kind == EventKind.NODE_DELETE:
+            # incident edges must already have been deleted by the stream
+            self._degree.pop(ev.node, None)
+        return self._count
+
+
+class TriangleCounter(IncrementalCounter):
+    """Count triangles, maintained via adjacency sets: an edge (u, v)
+    contributes |N(u) ∩ N(v)| triangles on insertion/removal."""
+
+    def __init__(self) -> None:
+        self._adj: Dict[NodeId, set] = {}
+        self._count = 0
+
+    def initial(self, g: Graph) -> float:
+        self._adj = {v: set(g.neighbors(v)) for v in g.nodes()}
+        count = 0
+        for v in g.nodes():
+            for u in g.neighbors(v):
+                if u > v:
+                    count += len(self._adj[v] & self._adj[u] )
+        # each triangle counted once per edge with u > v -> 3 times total
+        self._count = count // 3 if count % 3 == 0 else count / 3
+        self._count = count // 3
+        return self._count
+
+    def update(self, g_before: Graph, ev: Event) -> float:
+        if ev.kind == EventKind.EDGE_ADD and ev.other is not None:
+            u, v = ev.node, ev.other
+            nu = self._adj.setdefault(u, set())
+            nv = self._adj.setdefault(v, set())
+            if v not in nu:
+                self._count += len(nu & nv)
+                nu.add(v)
+                nv.add(u)
+        elif ev.kind == EventKind.EDGE_DELETE and ev.other is not None:
+            u, v = ev.node, ev.other
+            nu = self._adj.get(u, set())
+            nv = self._adj.get(v, set())
+            if v in nu:
+                nu.discard(v)
+                nv.discard(u)
+                self._count -= len(nu & nv)
+        elif ev.kind == EventKind.NODE_ADD:
+            self._adj.setdefault(ev.node, set())
+        elif ev.kind == EventKind.NODE_DELETE:
+            self._adj.pop(ev.node, None)
+        return self._count
+
+
+class LabeledEdgeCounter(IncrementalCounter):
+    """Count edges whose endpoints carry the given node-attribute labels
+    (order-insensitive): e.g. collaboration edges between an 'Author' and
+    an 'Editor'.  Auxiliary state: label map + per-node matched-edge sets.
+    """
+
+    def __init__(self, key: str, label_a, label_b) -> None:
+        self.key = key
+        self.label_a = label_a
+        self.label_b = label_b
+        self._labels: Dict[NodeId, object] = {}
+        self._adj: Dict[NodeId, set] = {}
+        self._count = 0
+
+    def _edge_matches(self, u: NodeId, v: NodeId) -> bool:
+        la, lb = self._labels.get(u), self._labels.get(v)
+        return (la == self.label_a and lb == self.label_b) or (
+            la == self.label_b and lb == self.label_a
+        )
+
+    def initial(self, g: Graph) -> float:
+        self._labels = {v: g.node_attrs(v).get(self.key) for v in g.nodes()}
+        self._adj = {v: set(g.neighbors(v)) for v in g.nodes()}
+        self._count = sum(
+            1 for (u, v) in g.edges() if self._edge_matches(u, v)
+        )
+        return self._count
+
+    def update(self, g_before: Graph, ev: Event) -> float:
+        kind = ev.kind
+        if kind == EventKind.EDGE_ADD and ev.other is not None:
+            u, v = ev.node, ev.other
+            if v not in self._adj.setdefault(u, set()):
+                self._adj[u].add(v)
+                self._adj.setdefault(v, set()).add(u)
+                if self._edge_matches(u, v):
+                    self._count += 1
+        elif kind == EventKind.EDGE_DELETE and ev.other is not None:
+            u, v = ev.node, ev.other
+            if v in self._adj.get(u, set()):
+                self._adj[u].discard(v)
+                self._adj.get(v, set()).discard(u)
+                if self._edge_matches(u, v):
+                    self._count -= 1
+        elif kind == EventKind.NODE_ADD:
+            attrs = ev.value if isinstance(ev.value, dict) else {}
+            self._labels[ev.node] = attrs.get(self.key)
+            self._adj.setdefault(ev.node, set())
+        elif kind == EventKind.NODE_DELETE:
+            self._labels.pop(ev.node, None)
+            self._adj.pop(ev.node, None)
+        elif kind == EventKind.NODE_ATTR_SET and ev.key == self.key:
+            # relabeling flips the match status of every incident edge
+            old = self._labels.get(ev.node)
+            for nbr in self._adj.get(ev.node, set()):
+                if self._pair_matches(old, self._labels.get(nbr)):
+                    self._count -= 1
+            self._labels[ev.node] = ev.value
+            for nbr in self._adj.get(ev.node, set()):
+                if self._pair_matches(ev.value, self._labels.get(nbr)):
+                    self._count += 1
+        elif kind == EventKind.NODE_ATTR_DEL and ev.key == self.key:
+            old = self._labels.get(ev.node)
+            for nbr in self._adj.get(ev.node, set()):
+                if self._pair_matches(old, self._labels.get(nbr)):
+                    self._count -= 1
+            self._labels[ev.node] = None
+        return self._count
+
+    def _pair_matches(self, la, lb) -> bool:
+        return (la == self.label_a and lb == self.label_b) or (
+            la == self.label_b and lb == self.label_a
+        )
+
+
+def count_over_time(
+    subgraph: SubgraphT,
+    counter_factory: Callable[[], IncrementalCounter],
+) -> List[Tuple[TimePoint, float]]:
+    """Run an incremental counter over a temporal subgraph.
+
+    Returns the count series at every change point of the subgraph; the
+    counter's auxiliary state is built once on the initial snapshot and
+    folded through the member events — the O(N + T) pattern the paper's
+    NodeComputeDelta exists for.
+    """
+    counter = counter_factory()
+    ts = subgraph.get_start_time()
+    g = subgraph.members_induced_at(ts)
+    value = counter.initial(g)
+    series: List[Tuple[TimePoint, float]] = [(ts, value)]
+    for ev in subgraph.member_events():
+        if ev.time <= ts:
+            continue
+        value = counter.update(g, ev)
+        g.apply_event(ev)
+        if series[-1][0] == ev.time:
+            series[-1] = (ev.time, value)
+        else:
+            series.append((ev.time, value))
+    return series
+
+
+def brute_force_count(
+    subgraph: SubgraphT,
+    snapshot_counter: Callable[[Graph], float],
+) -> List[Tuple[TimePoint, float]]:
+    """Reference implementation: recount on a fresh snapshot at every
+    change point (O(N·T)); used to validate the incremental counters."""
+    points = [subgraph.get_start_time()] + subgraph.change_points()
+    out = []
+    for t in points:
+        value = snapshot_counter(subgraph.members_induced_at(t))
+        if out and out[-1][0] == t:
+            out[-1] = (t, value)
+        else:
+            out.append((t, value))
+    return out

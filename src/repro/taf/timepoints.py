@@ -1,0 +1,85 @@
+"""Timepoint-specification functions (paper Fig. 9).
+
+The ``NodeCompute*``, ``Evolution`` and ``Compare`` operators evaluate, by
+default, at every point of change of their operand; a user may instead pass
+one of these selectors (or any callable with the same shape) to control the
+evaluation grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Protocol, Sequence
+
+from repro.types import TimePoint
+
+
+class _TemporalOperand(Protocol):
+    def get_start_time(self) -> TimePoint: ...
+
+    def get_end_time(self) -> TimePoint: ...
+
+    def change_points(self) -> List[TimePoint]: ...
+
+
+TimepointSelector = Callable[[_TemporalOperand], List[TimePoint]]
+
+
+def all_change_points(operand: _TemporalOperand) -> List[TimePoint]:
+    """Start time plus every point of change (the default grid)."""
+    points = [operand.get_start_time()]
+    for t in operand.change_points():
+        if t != points[-1]:
+            points.append(t)
+    return points
+
+
+def endpoints_and_middle(operand: _TemporalOperand) -> List[TimePoint]:
+    """Start, midpoint and end (the paper's ``selectTimepointsMinimal``)."""
+    st, et = operand.get_start_time(), operand.get_end_time()
+    mid = (st + et) // 2
+    out = [st]
+    if mid not in out:
+        out.append(mid)
+    if et not in out:
+        out.append(et)
+    return out
+
+
+def uniform(n: int) -> TimepointSelector:
+    """``n`` evenly spaced timepoints across the operand's range."""
+    if n < 1:
+        raise ValueError("need at least one sample point")
+
+    def select(operand: _TemporalOperand) -> List[TimePoint]:
+        st, et = operand.get_start_time(), operand.get_end_time()
+        if n == 1 or et == st:
+            return [st]
+        step = (et - st) / (n - 1)
+        points = []
+        for i in range(n):
+            t = round(st + i * step)
+            if not points or t != points[-1]:
+                points.append(t)
+        return points
+
+    return select
+
+
+def fixed(points: Sequence[TimePoint]) -> TimepointSelector:
+    """Always evaluate at the given constant list of timepoints."""
+    frozen = sorted(points)
+
+    def select(_operand: _TemporalOperand) -> List[TimePoint]:
+        return list(frozen)
+
+    return select
+
+
+def union_change_points(*operands: _TemporalOperand) -> List[TimePoint]:
+    """All change points across several operands (the paper's
+    ``selectTimepointsAll`` for Compare)."""
+    points: set = set()
+    for op in operands:
+        points.add(op.get_start_time())
+        points.update(op.change_points())
+    return sorted(points)

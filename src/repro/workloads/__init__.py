@@ -1,0 +1,16 @@
+"""Workload generators: scaled-down analogues of the paper's datasets."""
+
+from repro.workloads.citation import CitationConfig, generate_citation_events
+from repro.workloads.friendster import FriendsterConfig, generate_friendster_events
+from repro.workloads.social import SocialConfig, generate_social_events
+from repro.workloads.synthetic import augment_with_churn
+
+__all__ = [
+    "CitationConfig",
+    "generate_citation_events",
+    "FriendsterConfig",
+    "generate_friendster_events",
+    "SocialConfig",
+    "generate_social_events",
+    "augment_with_churn",
+]

@@ -1,0 +1,76 @@
+"""Friendster-style gaming-network workload (Dataset 4 analogue).
+
+The paper's Dataset 4 takes a static Friendster snapshot and assigns
+synthetic dates at uniform intervals to ~500M events.  We generate a
+community-structured static social graph (dense intra-community links,
+sparse bridges) and emit its construction as a uniformly-timestamped event
+stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.graph.events import Event, EventBuilder
+from repro.types import TimePoint
+
+
+@dataclass(frozen=True)
+class FriendsterConfig:
+    """Shape of the generated gaming network.
+
+    Attributes:
+        num_nodes: players.
+        avg_degree: mean friendships per player.
+        num_communities: guilds/clusters; ~90% of edges stay within one.
+        intra_community_bias: probability an edge is intra-community.
+        seed: RNG seed.
+        start_time: first event time; events get uniform integer spacing.
+    """
+
+    num_nodes: int = 2000
+    avg_degree: int = 8
+    num_communities: int = 20
+    intra_community_bias: float = 0.9
+    seed: int = 99
+    start_time: TimePoint = 1
+
+
+def generate_friendster_events(config: FriendsterConfig) -> List[Event]:
+    """Node additions followed by friendship edges, uniformly timestamped."""
+    rng = random.Random(config.seed)
+    eb = EventBuilder()
+    events: List[Event] = []
+    t = config.start_time
+    community = {
+        n: rng.randrange(config.num_communities) for n in range(config.num_nodes)
+    }
+    by_comm: List[List[int]] = [[] for _ in range(config.num_communities)]
+    for n, c in community.items():
+        by_comm[c].append(n)
+    for n in range(config.num_nodes):
+        events.append(eb.node_add(t, n, {"guild": community[n]}))
+        t += 1
+    target_edges = config.num_nodes * config.avg_degree // 2
+    existing = set()
+    attempts = 0
+    while len(existing) < target_edges and attempts < target_edges * 20:
+        attempts += 1
+        u = rng.randrange(config.num_nodes)
+        if rng.random() < config.intra_community_bias and len(
+            by_comm[community[u]]
+        ) > 1:
+            v = rng.choice(by_comm[community[u]])
+        else:
+            v = rng.randrange(config.num_nodes)
+        if u == v:
+            continue
+        eid = (min(u, v), max(u, v))
+        if eid in existing:
+            continue
+        existing.add(eid)
+        events.append(eb.edge_add(t, *eid))
+        t += 1
+    return events

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.graph.static import Graph
+from tests.helpers import random_history
+
+
+@pytest.fixture(scope="session")
+def history_small():
+    """A 300-step consistent random history with all event kinds."""
+    return random_history(steps=300, seed=1)
+
+
+@pytest.fixture(scope="session")
+def history_grow_only():
+    """A history without deletions (citation-style)."""
+    return random_history(steps=250, seed=2, deletions=False)
+
+
+@pytest.fixture(scope="session")
+def final_graph(history_small):
+    return Graph.replay(history_small)

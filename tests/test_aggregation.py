@@ -1,0 +1,56 @@
+"""Unit tests for temporal aggregation operators."""
+
+import pytest
+
+from repro.errors import AnalyticsError
+from repro.taf.aggregation import (
+    TempAggregation,
+    peaks,
+    saturate,
+    series_max,
+    series_mean,
+    series_min,
+)
+
+SERIES = [(1, 1.0), (2, 3.0), (3, 2.0), (4, 5.0), (5, 4.0)]
+
+
+def test_series_max_min():
+    assert series_max(SERIES) == (4, 5.0)
+    assert series_min(SERIES) == (1, 1.0)
+
+
+def test_series_max_ties_earliest():
+    assert series_max([(1, 2.0), (2, 2.0)]) == (1, 2.0)
+
+
+def test_series_mean():
+    assert series_mean(SERIES) == pytest.approx(3.0)
+
+
+def test_empty_series_raise():
+    for f in (series_max, series_min, series_mean, saturate):
+        with pytest.raises(AnalyticsError):
+            f([])
+
+
+def test_peaks_interior_and_boundary():
+    assert peaks(SERIES) == [(2, 3.0), (4, 5.0)]
+    assert peaks([(1, 5.0), (2, 1.0)]) == [(1, 5.0)]
+    assert peaks([(1, 5.0)]) == [(1, 5.0)]
+
+
+def test_saturate_settles():
+    series = [(1, 0.0), (2, 8.0), (3, 9.9), (4, 10.0), (5, 10.0)]
+    assert saturate(series, tolerance=0.05) == 3
+
+
+def test_saturate_monotone_never_within_band_until_end():
+    series = [(1, 0.0), (2, 5.0), (3, 10.0)]
+    assert saturate(series, tolerance=0.01) == 3
+
+
+def test_namespace_aliases():
+    assert TempAggregation.Max(SERIES) == (4, 5.0)
+    assert TempAggregation.Mean(SERIES) == pytest.approx(3.0)
+    assert TempAggregation.Peak(SERIES) == [(2, 3.0), (4, 5.0)]

@@ -1,0 +1,63 @@
+"""Unit tests for the hierarchical temporal-compression tree."""
+
+import pytest
+
+from repro.deltas.base import Delta, StaticNode
+from repro.errors import IndexError_
+from repro.index.delta_tree import build_delta_tree, reconstruct_leaf
+
+
+def leaf_sequence(n):
+    """Leaves that evolve gradually: leaf i has nodes 0..i with version i
+    on the newest node (plenty of shared state to intersect)."""
+    leaves = []
+    for i in range(n):
+        comps = [StaticNode.make(j, (), {"v": 0}) for j in range(i)]
+        comps.append(StaticNode.make(i, (), {"v": i}))
+        leaves.append(Delta(comps))
+    return leaves
+
+
+@pytest.mark.parametrize("num_leaves", [1, 2, 3, 5, 8, 9])
+@pytest.mark.parametrize("arity", [2, 3])
+def test_reconstruct_every_leaf(num_leaves, arity):
+    leaves = leaf_sequence(num_leaves)
+    tree, stored = build_delta_tree(leaves, arity)
+    for i, leaf in enumerate(leaves):
+        assert reconstruct_leaf(tree, stored, i) == leaf
+
+
+def test_interior_nodes_store_differences_only():
+    leaves = leaf_sequence(8)
+    tree, stored = build_delta_tree(leaves, 2)
+    # total stored size should be far below storing all leaves separately
+    stored_total = sum(d.size for d in stored.values())
+    naive_total = sum(leaf.size for leaf in leaves)
+    assert stored_total < naive_total
+
+
+def test_path_lengths_match_height():
+    leaves = leaf_sequence(8)
+    tree, _ = build_delta_tree(leaves, 2)
+    assert tree.height == 3
+    assert len(tree.path_to_leaf(0)) == 4  # root + 3 levels
+
+
+def test_single_leaf_tree():
+    leaves = leaf_sequence(1)
+    tree, stored = build_delta_tree(leaves, 2)
+    assert tree.root == tree.leaves[0]
+    assert reconstruct_leaf(tree, stored, 0) == leaves[0]
+
+
+def test_rejects_bad_arity_and_empty():
+    with pytest.raises(IndexError_):
+        build_delta_tree(leaf_sequence(2), 1)
+    with pytest.raises(IndexError_):
+        build_delta_tree([], 2)
+
+
+def test_path_to_invalid_leaf():
+    tree, _ = build_delta_tree(leaf_sequence(2), 2)
+    with pytest.raises(IndexError_):
+        tree.path_to_leaf(5)

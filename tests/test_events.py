@@ -1,0 +1,76 @@
+"""Unit tests for the event model."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.graph.events import (
+    Event,
+    EventBuilder,
+    EventKind,
+    check_sorted,
+    events_in_range,
+)
+
+
+@pytest.fixture
+def eb():
+    return EventBuilder()
+
+
+def test_builder_assigns_monotonic_seq(eb):
+    a = eb.node_add(1, 10)
+    b = eb.edge_add(1, 10, 11)
+    c = eb.node_delete(2, 11)
+    assert a.seq < b.seq < c.seq
+
+
+def test_edge_event_requires_two_endpoints():
+    with pytest.raises(EventError):
+        Event(1, 0, EventKind.EDGE_ADD, 5)
+
+
+def test_attr_event_requires_key():
+    with pytest.raises(EventError):
+        Event(1, 0, EventKind.NODE_ATTR_SET, 5)
+
+
+def test_edge_property_canonicalizes(eb):
+    ev = eb.edge_add(1, 9, 2)
+    assert ev.edge == (2, 9)
+
+
+def test_entities_for_node_and_edge_events(eb):
+    assert eb.node_add(1, 7).entities == (7,)
+    assert set(eb.edge_add(1, 7, 8).entities) == {7, 8}
+
+
+def test_touches(eb):
+    ev = eb.edge_add(1, 7, 8)
+    assert ev.touches(7) and ev.touches(8) and not ev.touches(9)
+
+
+def test_check_sorted_accepts_sorted(eb):
+    evs = [eb.node_add(1, 0), eb.node_add(1, 1), eb.node_add(2, 2)]
+    check_sorted(evs)
+
+
+def test_check_sorted_rejects_unsorted(eb):
+    evs = [eb.node_add(2, 0), eb.node_add(1, 1)]
+    with pytest.raises(EventError):
+        check_sorted(evs)
+
+
+def test_events_in_range_is_half_open_left(eb):
+    evs = [eb.node_add(t, t) for t in (1, 2, 3, 4)]
+    got = list(events_in_range(evs, 1, 3))
+    assert [e.time for e in got] == [2, 3]
+
+
+def test_old_value_roundtrip(eb):
+    ev = eb.node_attr_set(3, 1, "color", "red", old="blue")
+    assert ev.value == "red" and ev.old_value == "blue"
+
+
+def test_builder_seq_start():
+    eb2 = EventBuilder(start_seq=100)
+    assert eb2.node_add(1, 0).seq == 100

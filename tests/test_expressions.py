@@ -1,0 +1,100 @@
+"""Unit tests for the TAF predicate/time expression parser."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.taf.expressions import (
+    date_ordinal,
+    parse_date,
+    parse_entity_predicate,
+    parse_literal,
+    parse_time_expression,
+    predicate_fields,
+)
+
+
+def test_parse_literal_kinds():
+    assert parse_literal("42") == 42
+    assert parse_literal("4.5") == 4.5
+    assert parse_literal('"A"') == "A"
+    assert parse_literal("'B'") == "B"
+    assert parse_literal("Jan 1,2003") == date_ordinal(2003, 1, 1)
+
+
+def test_parse_literal_rejects_garbage():
+    with pytest.raises(QueryError):
+        parse_literal("@@@")
+
+
+def test_parse_date_formats():
+    assert parse_date("Jan 1, 2003") == date_ordinal(2003, 1, 1)
+    assert parse_date("July 14,2002") == date_ordinal(2002, 7, 14)
+    assert parse_date("2003-01-01") == date_ordinal(2003, 1, 1)
+    assert parse_date("notadate") is None
+
+
+def test_id_predicate():
+    pred = parse_entity_predicate("id < 5000")
+    assert pred(10, {}) and not pred(5000, {})
+
+
+def test_attribute_predicate():
+    pred = parse_entity_predicate('community = "A"')
+    assert pred(1, {"community": "A"})
+    assert not pred(1, {"community": "B"})
+    assert not pred(1, {})
+
+
+def test_conjunction_and_disjunction():
+    pred = parse_entity_predicate('id < 10 and community = "A" or id >= 90')
+    assert pred(5, {"community": "A"})
+    assert not pred(5, {"community": "B"})
+    assert pred(95, {})
+
+
+def test_quoted_and_inside_string():
+    pred = parse_entity_predicate('name = "rock and roll"')
+    assert pred(1, {"name": "rock and roll"})
+
+
+def test_comparison_with_missing_attr_is_false():
+    pred = parse_entity_predicate("age > 10")
+    assert not pred(1, {})
+
+
+def test_inequality():
+    pred = parse_entity_predicate('community != "A"')
+    assert pred(1, {"community": "B"})
+    assert not pred(1, {"community": "A"})
+
+
+def test_predicate_fields():
+    assert predicate_fields('id < 10 and community = "A"') == {
+        "id",
+        "community",
+    }
+
+
+def test_time_expression_interval():
+    lo, hi = parse_time_expression("t >= 10 and t < 20")
+    assert (lo, hi) == (10, 19)
+
+
+def test_time_expression_point():
+    assert parse_time_expression("t = 15") == (15, 15)
+
+
+def test_time_expression_dates():
+    lo, hi = parse_time_expression("t >= Jan 1,2003 and t < Jan 1, 2004")
+    assert lo == date_ordinal(2003, 1, 1)
+    assert hi == date_ordinal(2004, 1, 1) - 1
+
+
+def test_time_expression_rejects_empty_interval():
+    with pytest.raises(QueryError):
+        parse_time_expression("t > 10 and t < 5")
+
+
+def test_time_expression_rejects_non_time_field():
+    with pytest.raises(QueryError):
+        parse_time_expression("x > 10")

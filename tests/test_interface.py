@@ -1,0 +1,81 @@
+"""Unit tests for the shared index interface (NodeHistory, state
+evolution)."""
+
+import pytest
+
+from repro.deltas.base import StaticNode
+from repro.errors import TimeRangeError
+from repro.graph.events import EventBuilder
+from repro.index.interface import NodeHistory, evolve_node_state
+
+
+@pytest.fixture
+def eb():
+    return EventBuilder()
+
+
+def test_evolve_node_add_and_delete(eb):
+    state = evolve_node_state(None, eb.node_add(1, 5, {"a": 1}), 5)
+    assert state is not None and state.attrs == {"a": 1}
+    assert evolve_node_state(state, eb.node_delete(2, 5), 5) is None
+
+
+def test_evolve_ignores_other_nodes(eb):
+    state = StaticNode.make(5)
+    assert evolve_node_state(state, eb.node_add(1, 6), 5) == state
+
+
+def test_evolve_edge_events_both_directions(eb):
+    state = StaticNode.make(5)
+    s1 = evolve_node_state(state, eb.edge_add(1, 5, 7), 5)
+    assert s1.E == frozenset({7})
+    s2 = evolve_node_state(s1, eb.edge_add(2, 8, 5), 5)
+    assert s2.E == frozenset({7, 8})
+    s3 = evolve_node_state(s2, eb.edge_delete(3, 7, 5), 5)
+    assert s3.E == frozenset({8})
+
+
+def test_evolve_edge_add_implicitly_creates(eb):
+    # an edge event referencing a node with no prior state implies existence
+    state = evolve_node_state(None, eb.edge_add(1, 5, 7), 5)
+    assert state is not None and state.E == frozenset({7})
+
+
+def test_evolve_attr_set_and_del(eb):
+    state = StaticNode.make(5)
+    s1 = evolve_node_state(state, eb.node_attr_set(1, 5, "k", "v"), 5)
+    assert s1.attrs == {"k": "v"}
+    s2 = evolve_node_state(s1, eb.node_attr_del(2, 5, "k"), 5)
+    assert s2.attrs == {}
+
+
+def test_evolve_attr_del_on_dead_node(eb):
+    assert evolve_node_state(None, eb.node_attr_del(1, 5, "k"), 5) is None
+
+
+def test_history_versions_merge_same_time(eb):
+    events = (
+        eb.edge_add(10, 1, 2),
+        eb.edge_add(10, 1, 3),
+        eb.edge_add(20, 1, 4),
+    )
+    h = NodeHistory(1, 0, 30, StaticNode.make(1), events)
+    versions = h.versions()
+    assert [t for t, _ in versions] == [0, 10, 20]
+    assert versions[1][1].E == frozenset({2, 3})
+
+
+def test_history_state_at_bounds(eb):
+    h = NodeHistory(1, 0, 30, StaticNode.make(1), ())
+    with pytest.raises(TimeRangeError):
+        h.state_at(31)
+    with pytest.raises(TimeRangeError):
+        h.state_at(-1)
+
+
+def test_history_skips_noop_versions(eb):
+    # an event that doesn't change the state produces no new version
+    events = (eb.node_attr_set(10, 1, "k", "v"),
+              eb.node_attr_set(20, 1, "k", "v"))
+    h = NodeHistory(1, 0, 30, StaticNode.make(1, (), {"k": "v"}), events)
+    assert h.num_versions == 1

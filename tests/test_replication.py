@@ -1,0 +1,66 @@
+"""Unit tests for 1-hop edge-cut replication (auxiliary partitions)."""
+
+from repro.deltas.base import Delta, StaticEdge, StaticNode
+from repro.partitioning.base import Partitioning
+from repro.partitioning.replication import (
+    build_auxiliary_partitions,
+    replication_factor,
+)
+
+
+def chain_snapshot():
+    """0-1-2-3 path, nodes 0,1 in partition 0 and 2,3 in partition 1."""
+    delta = Delta(
+        [
+            StaticNode.make(0, (1,), {"a": 0}),
+            StaticNode.make(1, (0, 2)),
+            StaticNode.make(2, (1, 3)),
+            StaticNode.make(3, (2,)),
+        ]
+    )
+    part = Partitioning(2, {0: 0, 1: 0, 2: 1, 3: 1})
+    return delta, part
+
+
+def test_auxiliary_contains_cut_neighbors():
+    delta, part = chain_snapshot()
+    aux = build_auxiliary_partitions(delta, part)
+    # partition 0's boundary is node 2; partition 1's is node 1
+    assert [c.I for c in aux[0].delta] == [2]
+    assert [c.I for c in aux[1].delta] == [1]
+
+
+def test_auxiliary_edge_lists_restricted_to_partition():
+    delta, part = chain_snapshot()
+    aux = build_auxiliary_partitions(delta, part)
+    replica_of_2 = next(iter(aux[0].delta))
+    assert replica_of_2.E == frozenset({1})  # only the edge back into P0
+
+
+def test_auxiliary_preserves_attributes():
+    delta = Delta(
+        [
+            StaticNode.make(0, (1,)),
+            StaticNode.make(1, (0,), {"color": "red"}),
+        ]
+    )
+    part = Partitioning(2, {0: 0, 1: 1})
+    aux = build_auxiliary_partitions(delta, part)
+    assert next(iter(aux[0].delta)).attrs == {"color": "red"}
+
+
+def test_no_replication_without_cut():
+    delta = Delta([StaticNode.make(0, (1,)), StaticNode.make(1, (0,))])
+    part = Partitioning(2, {0: 0, 1: 0})
+    aux = build_auxiliary_partitions(delta, part)
+    assert all(len(a.delta) == 0 for a in aux)
+
+
+def test_replication_factor():
+    delta, part = chain_snapshot()
+    aux = build_auxiliary_partitions(delta, part)
+    assert replication_factor(part, aux) == 0.5  # 2 replicas / 4 primaries
+
+
+def test_replication_factor_empty():
+    assert replication_factor(Partitioning(1, {}), []) == 0.0

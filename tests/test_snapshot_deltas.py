@@ -1,0 +1,81 @@
+"""Unit tests for snapshot deltas and micro-partitioning."""
+
+import pytest
+
+from repro.deltas.base import Delta, StaticEdge, StaticNode
+from repro.deltas.snapshot import (
+    PartitionedSnapshot,
+    SnapshotDelta,
+    merge_partitioned_snapshots,
+    partition_snapshot,
+    split_delta,
+)
+from repro.graph.static import Graph
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    for n in range(6):
+        g.add_node(n, {"p": n % 2})
+    for u, v in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (0, 5)]:
+        g.add_edge(u, v, {"w": u + v})
+    return g
+
+
+def test_snapshot_roundtrip(graph):
+    snap = SnapshotDelta.of(graph, time=10)
+    assert snap.to_graph() == graph
+    assert snap.size > 0
+
+
+def test_partition_snapshot_covers_all_nodes(graph):
+    snap = SnapshotDelta.of(graph, 10)
+    parts = partition_snapshot(snap, lambda n: n % 3, 3)
+    all_nodes = set()
+    for p in parts:
+        all_nodes.update(c.I for c in p.delta if isinstance(c, StaticNode))
+    assert all_nodes == set(range(6))
+
+
+def test_partition_snapshot_replicates_cut_edges(graph):
+    snap = SnapshotDelta.of(graph, 10)
+    parts = partition_snapshot(snap, lambda n: 0 if n < 3 else 1, 2)
+    # edge (2,3) crosses the cut: present in both partitions
+    for p in parts:
+        assert ("e", (2, 3)) in p.delta
+
+
+def test_merge_partitioned_snapshots_roundtrip(graph):
+    snap = SnapshotDelta.of(graph, 10)
+    parts = partition_snapshot(snap, lambda n: n % 3, 3)
+    assert merge_partitioned_snapshots(parts) == graph
+
+
+def test_split_delta_bounds_node_count(graph):
+    delta = Delta.from_graph(graph)
+    micros = split_delta(delta, 2)
+    for m in micros:
+        nodes = [c for c in m if isinstance(c, StaticNode)]
+        assert len(nodes) <= 2
+    total = sum(len([c for c in m if isinstance(c, StaticNode)]) for m in micros)
+    assert total == 6
+
+
+def test_split_delta_edges_travel_with_endpoint(graph):
+    delta = Delta.from_graph(graph)
+    micros = split_delta(delta, 3)
+    edge_count = sum(
+        len([c for c in m if isinstance(c, StaticEdge)]) for m in micros
+    )
+    assert edge_count == 6
+
+
+def test_split_delta_rejects_nonpositive(graph):
+    with pytest.raises(ValueError):
+        split_delta(Delta.from_graph(graph), 0)
+
+
+def test_split_empty_delta():
+    micros = split_delta(Delta(), 5)
+    assert len(micros) == 1 and len(micros[0]) == 0

@@ -1,0 +1,119 @@
+"""Unit tests for dynamic partitioning: time collapse and timespans."""
+
+import pytest
+
+from repro.errors import PartitioningError
+from repro.graph.events import EventBuilder
+from repro.graph.static import Graph
+from repro.partitioning.mincut import MinCutPartitioner
+from repro.partitioning.temporal import (
+    CollapseFunction,
+    NodeWeighting,
+    collapse,
+    partition_timespan,
+    timespan_boundaries,
+)
+
+
+@pytest.fixture
+def eb():
+    return EventBuilder()
+
+
+def initial_pair():
+    g = Graph()
+    g.add_node(1)
+    g.add_node(2)
+    g.add_edge(1, 2, {"weight": 2.0})
+    return g
+
+
+def test_collapse_includes_all_ever_alive(eb):
+    g = initial_pair()
+    events = [eb.node_add(5, 3), eb.edge_add(6, 3, 1), eb.node_delete(8, 3)]
+    # delete node 3's edge first for consistency
+    events = [eb.node_add(5, 3), eb.edge_add(6, 3, 1),
+              eb.edge_delete(7, 3, 1), eb.node_delete(8, 3)]
+    cg = collapse(g, events, 0, 10)
+    assert set(cg.nodes) == {1, 2, 3}
+
+
+def test_union_max_takes_max_weight(eb):
+    g = initial_pair()
+    events = [eb.edge_attr_set(5, 1, 2, "weight", 7.0)]
+    cg = collapse(g, events, 0, 10, CollapseFunction.UNION_MAX)
+    assert cg.edge_weights[(1, 2)] == 7.0
+
+
+def test_union_mean_weights_by_duration(eb):
+    g = initial_pair()
+    # weight 2.0 for [0,5), then 4.0 for [5,10): mean = 3.0
+    events = [eb.edge_attr_set(5, 1, 2, "weight", 4.0)]
+    cg = collapse(g, events, 0, 10, CollapseFunction.UNION_MEAN)
+    assert cg.edge_weights[(1, 2)] == pytest.approx(3.0)
+
+
+def test_union_mean_counts_absence_as_zero(eb):
+    g = Graph()
+    g.add_node(1)
+    g.add_node(2)
+    events = [eb.edge_add(5, 1, 2, {"weight": 4.0})]
+    cg = collapse(g, events, 0, 10, CollapseFunction.UNION_MEAN)
+    # edge alive half the span: 4.0 * 5/10
+    assert cg.edge_weights[(1, 2)] == pytest.approx(2.0)
+
+
+def test_median_takes_state_at_midpoint(eb):
+    g = initial_pair()
+    events = [eb.edge_delete(3, 1, 2)]
+    cg = collapse(g, events, 0, 10, CollapseFunction.MEDIAN)
+    assert (1, 2) not in cg.edge_weights  # edge gone before t=5
+    cg2 = collapse(g, [], 0, 10, CollapseFunction.MEDIAN)
+    assert cg2.edge_weights[(1, 2)] == 2.0
+
+
+def test_node_weighting_options(eb):
+    g = initial_pair()
+    cg_uniform = collapse(g, [], 0, 10, node_weighting=NodeWeighting.UNIFORM)
+    assert all(w == 1.0 for w in cg_uniform.node_weights.values())
+    cg_degree = collapse(g, [], 0, 10, node_weighting=NodeWeighting.DEGREE)
+    assert cg_degree.node_weights[1] == 1.0  # one collapsed edge
+    cg_avg = collapse(
+        g, [], 0, 10, node_weighting=NodeWeighting.AVERAGE_DEGREE
+    )
+    assert cg_avg.node_weights[1] == pytest.approx(1.0)  # alive whole span
+
+
+def test_collapse_rejects_empty_span(eb):
+    with pytest.raises(PartitioningError):
+        collapse(Graph(), [], 5, 5)
+
+
+def test_partition_timespan_covers_span_nodes(eb):
+    g = initial_pair()
+    events = [eb.node_add(3, 10), eb.edge_add(4, 10, 1)]
+    p = partition_timespan(g, events, 0, 10, MinCutPartitioner(), 2)
+    assert set(p.assignment) == {1, 2, 10}
+
+
+def test_timespan_boundaries_sizes(eb):
+    events = [eb.node_add(t, t) for t in range(1, 11)]
+    spans = timespan_boundaries(events, 4)
+    assert spans == [(1, 5), (5, 9), (9, 11)]
+
+
+def test_timespan_boundaries_never_split_time_point():
+    eb2 = EventBuilder()
+    events = [eb2.node_add(1, i) for i in range(5)]
+    events += [eb2.node_add(2, 10)]
+    spans = timespan_boundaries(events, 2)
+    assert spans[0] == (1, 2)  # all five t=1 events in one span
+
+
+def test_timespan_boundaries_empty():
+    assert timespan_boundaries([], 5) == []
+
+
+def test_timespan_boundaries_rejects_bad_size(eb):
+    with pytest.raises(PartitioningError):
+        timespan_boundaries([eb.node_add(1, 1)], 0)

@@ -1,0 +1,61 @@
+"""Unit tests for timepoint-specification functions."""
+
+import pytest
+
+from repro.taf import timepoints as tp
+
+
+class FakeOperand:
+    def __init__(self, ts, te, changes):
+        self._ts, self._te, self._changes = ts, te, changes
+
+    def get_start_time(self):
+        return self._ts
+
+    def get_end_time(self):
+        return self._te
+
+    def change_points(self):
+        return self._changes
+
+
+def test_all_change_points_prepends_start():
+    op = FakeOperand(0, 10, [3, 7])
+    assert tp.all_change_points(op) == [0, 3, 7]
+
+
+def test_all_change_points_no_duplicate_start():
+    op = FakeOperand(3, 10, [3, 7])
+    assert tp.all_change_points(op) == [3, 7]
+
+
+def test_endpoints_and_middle():
+    op = FakeOperand(0, 10, [])
+    assert tp.endpoints_and_middle(op) == [0, 5, 10]
+
+
+def test_uniform_sampling():
+    op = FakeOperand(0, 100, [])
+    pts = tp.uniform(5)(op)
+    assert pts == [0, 25, 50, 75, 100]
+
+
+def test_uniform_single_point():
+    op = FakeOperand(5, 5, [])
+    assert tp.uniform(3)(op) == [5]
+
+
+def test_uniform_rejects_zero():
+    with pytest.raises(ValueError):
+        tp.uniform(0)
+
+
+def test_fixed():
+    op = FakeOperand(0, 10, [])
+    assert tp.fixed([9, 1, 5])(op) == [1, 5, 9]
+
+
+def test_union_change_points():
+    a = FakeOperand(0, 10, [2, 4])
+    b = FakeOperand(1, 10, [4, 6])
+    assert tp.union_change_points(a, b) == [0, 1, 2, 4, 6]

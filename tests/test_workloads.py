@@ -1,0 +1,116 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.graph.events import EventKind, check_sorted
+from repro.graph.static import Graph
+from repro.workloads.citation import CitationConfig, generate_citation_events
+from repro.workloads.friendster import (
+    FriendsterConfig,
+    generate_friendster_events,
+)
+from repro.workloads.social import SocialConfig, generate_social_events
+from repro.workloads.synthetic import augment_with_churn
+
+
+def test_citation_deterministic():
+    a = generate_citation_events(CitationConfig(num_nodes=100, seed=1))
+    b = generate_citation_events(CitationConfig(num_nodes=100, seed=1))
+    assert a == b
+
+
+def test_citation_is_growth_only():
+    events = generate_citation_events(CitationConfig(num_nodes=150))
+    kinds = {ev.kind for ev in events}
+    assert kinds <= {EventKind.NODE_ADD, EventKind.EDGE_ADD}
+
+
+def test_citation_strictly_applicable():
+    events = generate_citation_events(CitationConfig(num_nodes=150))
+    g = Graph()
+    for ev in events:
+        g.apply_event(ev, strict=True)
+    assert g.num_nodes == 150
+
+
+def test_citation_heavy_tail():
+    events = generate_citation_events(CitationConfig(num_nodes=400, seed=3))
+    g = Graph.replay(events)
+    degrees = sorted((g.degree(n) for n in g.nodes()), reverse=True)
+    # preferential attachment: the top node far exceeds the median
+    assert degrees[0] >= 4 * degrees[len(degrees) // 2]
+
+
+def test_citation_sorted(h=None):
+    events = generate_citation_events(CitationConfig(num_nodes=80))
+    check_sorted(events)
+
+
+def test_friendster_intra_community_bias():
+    events = generate_friendster_events(
+        FriendsterConfig(num_nodes=300, num_communities=6, seed=2)
+    )
+    g = Graph.replay(events)
+    intra = 0
+    total = 0
+    for (u, v) in g.edges():
+        total += 1
+        if g.node_attrs(u)["guild"] == g.node_attrs(v)["guild"]:
+            intra += 1
+    assert intra / total > 0.6
+
+
+def test_friendster_uniform_timestamps():
+    events = generate_friendster_events(FriendsterConfig(num_nodes=100))
+    times = [ev.time for ev in events]
+    gaps = {b - a for a, b in zip(times, times[1:])}
+    assert gaps == {1}
+
+
+def test_social_contains_all_churn_kinds():
+    events = generate_social_events(
+        SocialConfig(num_nodes=80, num_steps=1500, seed=1)
+    )
+    kinds = {ev.kind for ev in events}
+    assert EventKind.EDGE_ADD in kinds
+    assert EventKind.EDGE_DELETE in kinds
+    assert EventKind.NODE_ATTR_SET in kinds
+
+
+def test_social_strictly_applicable():
+    events = generate_social_events(SocialConfig(num_nodes=50, num_steps=800))
+    g = Graph()
+    for ev in events:
+        g.apply_event(ev, strict=True)
+
+
+def test_augment_adds_exact_count():
+    base = generate_citation_events(CitationConfig(num_nodes=100))
+    out = augment_with_churn(base, 250, seed=4)
+    assert len(out) == len(base) + 250
+
+
+def test_augment_is_strictly_applicable():
+    base = generate_citation_events(CitationConfig(num_nodes=100))
+    out = augment_with_churn(base, 400, seed=4)
+    g = Graph()
+    for ev in out:
+        g.apply_event(ev, strict=True)
+
+
+def test_augment_preserves_base_prefix():
+    base = generate_citation_events(CitationConfig(num_nodes=100))
+    out = augment_with_churn(base, 100, seed=4)
+    assert out[: len(base)] == base
+
+
+def test_augment_rejects_empty_base():
+    with pytest.raises(ValueError):
+        augment_with_churn([], 10)
+
+
+def test_augment_contains_deletions():
+    base = generate_citation_events(CitationConfig(num_nodes=100))
+    out = augment_with_churn(base, 400, seed=4, add_fraction=0.3)
+    kinds = {ev.kind for ev in out[len(base):]}
+    assert EventKind.EDGE_DELETE in kinds
