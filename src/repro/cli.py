@@ -66,6 +66,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="locality-aware micro partitioning")
     build.add_argument("--replicate-boundary", action="store_true",
                        help="1-hop edge-cut replication")
+    build.add_argument("--cache-entries", type=int, default=0,
+                       help="delta-cache capacity in rows (0 = disabled)")
 
     query = sub.add_parser("query", help="query a saved index")
     query.add_argument("index", help="index file from `hgs build`")
@@ -123,6 +125,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             else PartitioningStrategy.RANDOM
         ),
         replicate_boundary=args.replicate_boundary,
+        delta_cache_entries=args.cache_entries,
         cluster=ClusterConfig(
             num_machines=args.machines,
             replication=args.replication,
@@ -144,15 +147,29 @@ def _graph_summary(g: Graph) -> dict:
     return {"nodes": g.num_nodes, "edges": g.num_edges}
 
 
+def _fetch_summary(stats) -> dict:
+    """Fetch accounting shared by every query subcommand."""
+    out = {
+        "deltas_fetched": stats.num_requests,
+        "rounds": stats.rounds,
+        "sim_time_ms": round(stats.sim_time_ms, 2),
+    }
+    if stats.cache_hits or stats.cache_misses:
+        out["cache"] = {
+            "hits": stats.cache_hits,
+            "misses": stats.cache_misses,
+            "bytes_saved": stats.cache_bytes_saved,
+        }
+    return out
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
     if args.query_kind == "snapshot":
         g = index.get_snapshot(args.time, clients=args.clients)
-        stats = index.last_fetch_stats
         print(json.dumps({
             "snapshot": _graph_summary(g),
-            "deltas_fetched": stats.num_requests,
-            "sim_time_ms": round(stats.sim_time_ms, 2),
+            **_fetch_summary(index.last_fetch_stats),
         }, indent=2))
     elif args.query_kind == "node":
         h = index.get_node_history(args.node, args.ts, args.te)
@@ -165,7 +182,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(json.dumps({
             "node": args.node,
             "versions": versions,
-            "sim_time_ms": round(index.last_fetch_stats.sim_time_ms, 2),
+            **_fetch_summary(index.last_fetch_stats),
         }, indent=2))
     else:
         g = index.get_khop(args.node, args.time, k=args.k)
@@ -174,7 +191,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
             "k": args.k,
             "neighborhood": _graph_summary(g),
             "members": sorted(g.nodes()),
-            "sim_time_ms": round(index.last_fetch_stats.sim_time_ms, 2),
+            **_fetch_summary(index.last_fetch_stats),
         }, indent=2))
     return 0
 
@@ -206,6 +223,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "stored_kib": index.cluster.stored_bytes // 1024,
                 "machines": index.config.cluster.num_machines,
                 "replication": index.config.cluster.replication,
+                "delta_cache_entries": index.config.delta_cache_entries,
             })
         print(json.dumps(info, indent=2))
     return 0

@@ -1,0 +1,55 @@
+"""The fetch-plan execution layer.
+
+Every retrieval in the paper is ultimately a carefully planned set of
+parallel key-value fetches (Sec. 4, Algorithms 1-5), and the TAF scales by
+having analytics partitions fetch temporal nodes directly from the store
+(Fig. 10).  This package makes that execution path first-class instead of
+leaving each index method to hand-assemble key lists and call
+``cluster.multiget`` inline:
+
+- :mod:`repro.exec.plan` — **declarative fetch plans**.  A
+  :class:`~repro.exec.plan.FetchPlan` is an ordered sequence of
+  :class:`~repro.exec.plan.FetchStage` objects; each stage holds
+  :class:`~repro.exec.plan.KeyGroup` groups whose *role* string records
+  how the fetched rows are decoded/applied (tree-path delta, trailing
+  eventlist, version chain, chain-pointed eventlist, ...).  A stage may
+  also be produced lazily from earlier results (a *stage factory*), which
+  is how version-chain rows resolve into pointer fetches without leaving
+  the plan.
+
+- :mod:`repro.exec.executor` — the
+  :class:`~repro.exec.executor.PlanExecutor` coalesces each stage's keys
+  into a single ``multiget`` round (the minimum possible: stages only
+  exist where a true data dependency forces another round), runs the
+  rounds through the cluster's existing cost simulation, and threads one
+  :class:`~repro.kvstore.cost.FetchStats` through the whole plan —
+  including round counts and cache counters.
+
+- :mod:`repro.exec.cache` — a bounded-LRU
+  :class:`~repro.exec.cache.DeltaCache` over decoded rows keyed by delta
+  key.  Repeated queries — and the many nodes of one TAF fetch that share
+  a span's root snapshot partitions — stop re-reading identical rows.
+  Hits, misses and bytes saved surface in ``FetchStats``.  Caching is
+  off by default (``TGIConfig.delta_cache_entries = 0``) so cost-model
+  accounting reproduces the uncached fetch counts exactly.
+
+Layering: this package knows nothing about TGI's key layout or delta
+algebra — it moves opaque composite keys and decoded values.  Index
+implementations (``repro.index.tgi``) build the plans; the TAF handler
+batches whole node populations through them.
+"""
+
+from repro.exec.cache import CacheStats, DeltaCache
+from repro.exec.executor import PlanExecutor, PlanResult
+from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, StageFactory
+
+__all__ = [
+    "CacheStats",
+    "DeltaCache",
+    "FetchPlan",
+    "FetchStage",
+    "KeyGroup",
+    "PlanExecutor",
+    "PlanResult",
+    "StageFactory",
+]

@@ -1,0 +1,113 @@
+"""Bounded LRU cache over decoded store rows.
+
+TGI rows are immutable once written (timespans are append-only; the only
+rewritten rows are version chains, which the index invalidates on batch
+update), so a decoded row can be reused across fetch plans without
+re-reading or re-deserializing it.  The cache tracks the *stored* size of
+every entry so the executor can report bytes saved in the fetch stats.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+KeyTuple = Tuple
+
+
+@dataclass(frozen=True)
+class CachedRow:
+    """A decoded row plus the sizes its fetch would have cost."""
+
+    value: Any
+    stored_bytes: int
+    raw_bytes: int
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counter snapshot."""
+
+    hits: int
+    misses: int
+    evictions: int
+    bytes_saved: int
+    entries: int
+    max_entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DeltaCache:
+    """LRU cache of decoded rows, bounded by entry count.
+
+    ``lookup`` promotes on hit and counts hits/misses; ``admit`` inserts
+    and evicts the least-recently-used entry past capacity.  Counters are
+    cumulative over the cache's lifetime (``clear`` drops entries, not
+    counters, so a batch update does not erase observed behavior).
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("DeltaCache needs capacity for at least 1 entry")
+        self.max_entries = max_entries
+        self._rows: "OrderedDict[KeyTuple, CachedRow]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_saved = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: KeyTuple) -> bool:
+        """Non-perturbing membership test (no promotion, no counters)."""
+        return key in self._rows
+
+    def lookup(self, key: KeyTuple) -> Optional[CachedRow]:
+        row = self._rows.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self._rows.move_to_end(key)
+        self.hits += 1
+        self.bytes_saved += row.stored_bytes
+        return row
+
+    def admit(
+        self, key: KeyTuple, value: Any, stored_bytes: int, raw_bytes: int
+    ) -> None:
+        if key in self._rows:
+            self._rows.move_to_end(key)
+        self._rows[key] = CachedRow(value, stored_bytes, raw_bytes)
+        while len(self._rows) > self.max_entries:
+            self._rows.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: KeyTuple) -> None:
+        self._rows.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are retained)."""
+        self._rows.clear()
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            bytes_saved=self.bytes_saved,
+            entries=len(self._rows),
+            max_entries=self.max_entries,
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<DeltaCache {s.entries}/{s.max_entries} entries "
+            f"hits={s.hits} misses={s.misses} evictions={s.evictions}>"
+        )

@@ -160,6 +160,28 @@ class HistoricalGraphIndex(abc.ABC):
         """Static state of ``node`` at ``t`` (``None`` if not alive)."""
         return self.get_node_history(node, t, t, clients=clients).initial
 
+    def get_node_histories(
+        self,
+        nodes: Sequence[NodeId],
+        ts: TimePoint,
+        te: TimePoint,
+        clients: int = 1,
+    ) -> List[NodeHistory]:
+        """Histories of many nodes over the same interval, in input order.
+
+        Default implementation loops :meth:`get_node_history` and merges
+        the per-node stats; indexes with batched access paths (TGI)
+        override it to coalesce the whole population into a handful of
+        fetch rounds.
+        """
+        total = FetchStats()
+        out: List[NodeHistory] = []
+        for node in nodes:
+            out.append(self.get_node_history(node, ts, te, clients=clients))
+            total.merge(self.last_fetch_stats)
+        self.last_fetch_stats = total
+        return out
+
     def get_khop(
         self, node: NodeId, t: TimePoint, k: int = 1, clients: int = 1
     ) -> Graph:

@@ -42,6 +42,10 @@ class TGIConfig:
             partition's cut neighbors (speeds up 1-hop fetches, Fig. 5d).
         collapse: time-collapse function Ω for dynamic partitioning.
         node_weighting: node-weight option for dynamic partitioning.
+        delta_cache_entries: capacity of the query manager's LRU cache of
+            decoded rows (0 disables caching, reproducing uncached fetch
+            counts exactly; cached fetches report hit/miss counters in
+            their ``FetchStats``).
         cluster: shape of the backing key-value cluster (``m``, ``r``,
             compression, cost model).
     """
@@ -55,6 +59,7 @@ class TGIConfig:
     replicate_boundary: bool = False
     collapse: CollapseFunction = CollapseFunction.UNION_MAX
     node_weighting: NodeWeighting = NodeWeighting.UNIFORM
+    delta_cache_entries: int = 0
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def __post_init__(self) -> None:
@@ -72,3 +77,5 @@ class TGIConfig:
             raise IndexError_("tree arity must be at least 2")
         if self.placement_groups < 1:
             raise IndexError_("placement_groups must be positive")
+        if self.delta_cache_entries < 0:
+            raise IndexError_("delta_cache_entries cannot be negative")

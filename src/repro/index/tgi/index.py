@@ -13,7 +13,16 @@ partial-state query machinery into the full retrieval API:
 - :meth:`get_khop_snapshot_first` — Algorithm 3 (fetch snapshot, filter);
 - :meth:`get_khop_history` — Algorithm 5 (inherited; center history plus
   neighbor histories);
+- :meth:`get_node_histories` — batched Algorithm 2 over a node population
+  (one fetch round per dependency level instead of per node);
 - :meth:`update` — batch append of new events as fresh timespans.
+
+All retrieval goes through the fetch-plan execution layer
+(:mod:`repro.exec`): methods declare *plans* — stages of role-tagged key
+groups — and the shared :class:`~repro.exec.executor.PlanExecutor`
+coalesces each stage into one ``multiget`` round, optionally short-
+circuiting repeated rows through the index's
+:class:`~repro.exec.cache.DeltaCache`.
 """
 
 from __future__ import annotations
@@ -21,9 +30,10 @@ from __future__ import annotations
 import bisect
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.deltas.base import Delta
+from repro.deltas.base import Delta, StaticNode
 from repro.deltas.eventlist import EventList
 from repro.errors import IndexError_, TimeRangeError
+from repro.exec import DeltaCache, FetchPlan, FetchStage, KeyGroup, PlanExecutor
 from repro.graph.events import Event
 from repro.graph.static import Graph
 from repro.index.interface import HistoricalGraphIndex, NodeHistory
@@ -38,6 +48,7 @@ from repro.index.tgi.layout import (
     TimespanInfo,
     delta_key,
     sid_of_pid,
+    version_chain_key,
 )
 from repro.index.tgi.query import PartialState, dedup_sorted
 from repro.index.tgi.version_chain import VersionChainStore
@@ -54,6 +65,12 @@ class TGI(HistoricalGraphIndex):
         super().__init__()
         self.config = config or TGIConfig()
         self.cluster = Cluster(self.config.cluster)
+        self.delta_cache = (
+            DeltaCache(self.config.delta_cache_entries)
+            if self.config.delta_cache_entries > 0
+            else None
+        )
+        self.executor = PlanExecutor(self.cluster, self.delta_cache)
         self._vc = VersionChainStore(self.cluster, self.config.placement_groups)
         self._spans: List[TimespanInfo] = []
         self._running = Graph()  # state at the end of indexed history
@@ -105,6 +122,10 @@ class TGI(HistoricalGraphIndex):
             self._spans.append(info)
         self._vc.flush()
         self._t_max = events[-1].time
+        if self.delta_cache is not None:
+            # version-chain rows are rewritten by flush(); drop every
+            # cached row rather than track which chains changed
+            self.delta_cache.clear()
 
     # ------------------------------------------------------------------
     # span / time navigation
@@ -170,12 +191,34 @@ class TGI(HistoricalGraphIndex):
                         )
         return path_groups, ekeys
 
+    def _snapshot_stage(
+        self,
+        span: TimespanInfo,
+        t: TimePoint,
+        label: str,
+        pids: Optional[Set[int]] = None,
+        include_aux: bool = False,
+    ) -> Tuple[FetchStage, List[List[DeltaKey]], List[DeltaKey]]:
+        """One plan stage holding a snapshot fetch (Algorithm 1's keys are
+        all independent, so they form a single round).  Also returns the
+        raw key structure for the apply side (path order matters)."""
+        path_groups, ekeys = self._snapshot_plan(
+            span, t, pids=pids, include_aux=include_aux
+        )
+        groups = [
+            KeyGroup("micro-path", tuple(k for g in path_groups for k in g)),
+            KeyGroup("eventlist", tuple(ekeys)),
+        ]
+        return FetchStage(label, tuple(groups)), path_groups, ekeys
+
     def get_snapshot(self, t: TimePoint, clients: int = 1) -> Graph:
         span = self._span_at(t)
-        path_groups, ekeys = self._snapshot_plan(span, t)
-        flat = [k for group in path_groups for k in group] + ekeys
-        values, stats = self.cluster.multiget(flat, clients=clients)
-        self.last_fetch_stats = stats
+        plan = FetchPlan(f"snapshot(t={t})")
+        stage, path_groups, ekeys = self._snapshot_stage(span, t, "snapshot")
+        plan.stages.append(stage)
+        result = self.executor.execute(plan, clients=clients)
+        self.last_fetch_stats = result.stats
+        values = result.values
         acc = Delta()
         for group in path_groups:
             for key in group:
@@ -210,11 +253,13 @@ class TGI(HistoricalGraphIndex):
                 scope |= span.scope_of(pid)
             else:
                 scope |= {n for n, p in span.node_pid.items() if p == pid}
-        path_groups, ekeys = self._snapshot_plan(
-            span, t, pids=pids, include_aux=include_aux
+        plan = FetchPlan(f"load_pids({sorted(pids)}, t={t})")
+        stage, path_groups, ekeys = self._snapshot_stage(
+            span, t, "partial-state", pids=pids, include_aux=include_aux
         )
-        flat = [k for group in path_groups for k in group] + ekeys
-        values, stats = self.cluster.multiget(flat, clients=clients)
+        plan.stages.append(stage)
+        result = self.executor.execute(plan, clients=clients)
+        values, stats = result.values, result.stats
         state = PartialState(scope=scope)
         for group in path_groups:
             for key in group:
@@ -231,18 +276,101 @@ class TGI(HistoricalGraphIndex):
     def get_node_history(
         self, node: NodeId, ts: TimePoint, te: TimePoint, clients: int = 1
     ) -> NodeHistory:
-        span = self._span_at(ts)
-        total = FetchStats()
+        return self.get_node_histories([node], ts, te, clients=clients)[0]
 
-        # state as of ts, via a targeted micro-delta fetch
-        initial = None
-        pid = span.pid_of(node)
-        if pid is not None:
-            path_groups, ekeys = self._snapshot_plan(span, ts, pids={pid})
-            flat = [k for group in path_groups for k in group] + ekeys
-            values, stats = self.cluster.multiget(flat, clients=clients)
-            total.merge(stats)
-            state = PartialState(scope={node})
+    def get_node_histories(
+        self,
+        nodes: Sequence[NodeId],
+        ts: TimePoint,
+        te: TimePoint,
+        clients: int = 1,
+    ) -> List[NodeHistory]:
+        """Batched Algorithm 2: histories of a whole node population in
+        O(1) fetch rounds.
+
+        One round fetches every needed micro-delta path, trailing
+        eventlist and version-chain row (nodes sharing a micro-partition
+        share rows, fetched once); a second round fetches the union of
+        all chain-pointed eventlist rows.  Results are identical to a
+        per-node :meth:`get_node_history` loop — only the fetch schedule
+        differs (a handful of rounds instead of O(nodes)).
+        """
+        if not nodes:
+            self.last_fetch_stats = FetchStats()
+            return []
+        span = self._span_at(ts)
+        ns = self.config.placement_groups
+
+        # metadata-only planning: one micro plan per distinct partition
+        node_pid: Dict[NodeId, Optional[int]] = {}
+        pid_plans: Dict[int, Tuple[List[List[DeltaKey]], List[DeltaKey]]] = {}
+        chain_nodes: List[NodeId] = []
+        for node in nodes:
+            if node in node_pid:
+                continue
+            pid = span.pid_of(node)
+            node_pid[node] = pid
+            if pid is not None and pid not in pid_plans:
+                pid_plans[pid] = self._snapshot_plan(span, ts, pids={pid})
+            if self._vc.has_chain(node):
+                chain_nodes.append(node)
+
+        micro_keys: List[DeltaKey] = []
+        ev_keys: List[DeltaKey] = []
+        seen: Set[DeltaKey] = set()
+        for pid in sorted(pid_plans):
+            path_groups, ekeys = pid_plans[pid]
+            for group in path_groups:
+                for key in group:
+                    if key not in seen:
+                        seen.add(key)
+                        micro_keys.append(key)
+            for key in ekeys:
+                if key not in seen:
+                    seen.add(key)
+                    ev_keys.append(key)
+        chain_keys = [version_chain_key(n, ns) for n in chain_nodes]
+
+        plan = FetchPlan(
+            f"node_histories({len(node_pid)} nodes, ts={ts}, te={te})"
+        )
+        plan.add_stage(
+            "micros+chains",
+            KeyGroup("micro-path", tuple(micro_keys)),
+            KeyGroup("eventlist", tuple(ev_keys)),
+            KeyGroup("version-chain", tuple(chain_keys)),
+        )
+
+        def pointer_stage(values: Dict[DeltaKey, object]) -> Optional[FetchStage]:
+            pointer_keys: List[DeltaKey] = []
+            pseen: Set[DeltaKey] = set()
+            for n in chain_nodes:
+                chain = values[version_chain_key(n, ns)]
+                for key in self._vc.pointers_in_range(chain, ts, te):
+                    if key not in pseen:
+                        pseen.add(key)
+                        pointer_keys.append(key)
+            if not pointer_keys:
+                return None
+            return FetchStage(
+                "version-pointers",
+                (KeyGroup("pointer", tuple(pointer_keys)),),
+            )
+
+        plan.add_factory(pointer_stage)
+        result = self.executor.execute(plan, clients=clients)
+        values = result.values
+
+        # reconstruct initial states once per partition (scoped loads are
+        # independent per node, so sharing the replay is exact)
+        initial: Dict[NodeId, Optional[StaticNode]] = {}
+        by_pid: Dict[int, List[NodeId]] = {}
+        for node, pid in node_pid.items():
+            if pid is not None:
+                by_pid.setdefault(pid, []).append(node)
+        for pid, members in by_pid.items():
+            path_groups, ekeys = pid_plans[pid]
+            state = PartialState(scope=set(members))
             for group in path_groups:
                 for key in group:
                     state.load_delta(values[key])
@@ -251,24 +379,26 @@ class TGI(HistoricalGraphIndex):
                     ev for key in ekeys for ev in values[key] if ev.time <= ts
                 )
             )
-            initial = state.node_state(node)
+            for node in members:
+                initial[node] = state.node_state(node)
 
-        # changes in (ts, te], via the version chain
-        chain, vc_stats = self._vc.fetch(node, clients=clients)
-        total.merge(vc_stats)
-        keys = self._vc.pointers_in_range(chain, ts, te)
-        changes: List[Event] = []
-        if keys:
-            values, stats = self.cluster.multiget(keys, clients=clients)
-            total.merge(stats)
-            changes = dedup_sorted(
-                ev
-                for key in keys
-                for ev in values[key]
-                if ts < ev.time <= te and ev.touches(node)
+        chains = {n: values[version_chain_key(n, ns)] for n in chain_nodes}
+        histories: Dict[NodeId, NodeHistory] = {}
+        for node in node_pid:
+            changes: List[Event] = []
+            if node in chains:
+                keys = self._vc.pointers_in_range(chains[node], ts, te)
+                changes = dedup_sorted(
+                    ev
+                    for key in keys
+                    for ev in values[key]
+                    if ts < ev.time <= te and ev.touches(node)
+                )
+            histories[node] = NodeHistory(
+                node, ts, te, initial.get(node), tuple(changes)
             )
-        self.last_fetch_stats = total
-        return NodeHistory(node, ts, te, initial, tuple(changes))
+        self.last_fetch_stats = result.stats
+        return [histories[node] for node in nodes]
 
     # ------------------------------------------------------------------
     # k-hop neighborhood (Algorithms 3 and 4)

@@ -60,6 +60,10 @@ class VersionChainStore:
         # can extend chains without re-reading rows
 
     # -- query side --------------------------------------------------------
+    def has_chain(self, node: NodeId) -> bool:
+        """Whether a chain row for ``node`` exists in the store."""
+        return node in self._flushed
+
     def fetch(
         self, node: NodeId, clients: int = 1
     ) -> Tuple[Tuple[VersionPointer, ...], FetchStats]:

@@ -133,8 +133,12 @@ class Cluster:
             self.put(key, value, placement_len=placement_len)
 
     def delete(self, key: KeyTuple, placement_len: int = 2) -> None:
+        """Remove ``key`` from every *live* replica; like :meth:`put`, a
+        down machine misses the delete and keeps a stale row until it is
+        rewritten or deleted again after recovery."""
         for machine_id in self.replicas_for(key[:placement_len]):
-            self.machines[machine_id].delete(key)
+            if machine_id not in self._down:
+                self.machines[machine_id].delete(key)
 
     # ------------------------------------------------------------------
     # reads
@@ -230,7 +234,7 @@ class Cluster:
                 rr_client += 1
                 values[key] = decode(encoded.payload)
 
-        stats = FetchStats(requests=records)
+        stats = FetchStats(requests=records, rounds=1 if keys else 0)
         stats.sim_time_ms = simulate_plan(records, model)
         return values, stats
 

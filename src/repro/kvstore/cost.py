@@ -80,10 +80,18 @@ class FetchStats:
     Attributes:
         requests: one record per key read.
         sim_time_ms: simulated completion time of the whole plan.
+        rounds: number of multiget rounds the operation issued.
+        cache_hits / cache_misses: delta-cache outcomes, when the fetch
+            ran through an executor with caching enabled (0 otherwise).
+        cache_bytes_saved: stored bytes the cache kept off the wire.
     """
 
     requests: List[RequestRecord] = field(default_factory=list)
     sim_time_ms: float = 0.0
+    rounds: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_saved: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -101,6 +109,10 @@ class FetchStats:
         """Fold another plan executed *sequentially after* this one."""
         self.requests.extend(other.requests)
         self.sim_time_ms += other.sim_time_ms
+        self.rounds += other.rounds
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_bytes_saved += other.cache_bytes_saved
 
 
 def simulate_plan(

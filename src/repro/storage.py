@@ -21,7 +21,9 @@ from repro.errors import HGSError
 from repro.index.interface import HistoricalGraphIndex
 
 _MAGIC = "hgs-index"
-_FORMAT_VERSION = 1
+# 2: indexes carry the fetch-plan executor / delta-cache attributes
+# (repro.exec); version-1 files lack them and would fail at query time
+_FORMAT_VERSION = 2
 
 
 class PersistenceError(HGSError):

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import IndexError_
 from repro.graph.events import Event
-from repro.index.interface import NodeHistory
+from repro.index.interface import NodeHistory, evolve_node_state
 from repro.index.tgi.index import TGI
 from repro.kvstore.cost import FetchStats
 from repro.spark.rdd import SparkContext, lpt_makespan
@@ -34,10 +35,19 @@ class ParallelFetchStats:
     num_workers: int = 1
     requests: int = 0
     bytes_read: int = 0
+    rounds: int = 0
+    cache_hits: int = 0
 
     @property
     def sim_time_ms(self) -> float:
         return lpt_makespan(self.partition_sim_ms, self.num_workers)
+
+    def absorb(self, fetch: FetchStats) -> None:
+        """Fold one store-side fetch into the aggregate counters."""
+        self.requests += fetch.num_requests
+        self.bytes_read += fetch.bytes_read
+        self.rounds += fetch.rounds
+        self.cache_hits += fetch.cache_hits
 
 
 class TGIHandler:
@@ -83,7 +93,11 @@ class TGIHandler:
     def fetch_node_histories(
         self, node_ids: Sequence[NodeId], ts: TimePoint, te: TimePoint
     ) -> List[NodeT]:
-        """Parallel fetch of temporal nodes (the SoN data path)."""
+        """Parallel fetch of temporal nodes (the SoN data path).
+
+        Each analytics partition issues one *batched* history fetch for
+        its whole chunk (:meth:`TGI.get_node_histories`), so a partition
+        costs O(1) store rounds instead of O(nodes)."""
         stats = ParallelFetchStats(num_workers=self.sc.num_workers)
         parts = self.sc.parallelize(node_ids).num_partitions
         chunks: List[List[NodeId]] = [[] for _ in range(parts)]
@@ -91,17 +105,15 @@ class TGIHandler:
             chunks[i % parts].append(nid)
         out: List[NodeT] = []
         for chunk in chunks:
-            sim_ms = 0.0
-            for nid in chunk:
-                history = self.tgi.get_node_history(
-                    nid, ts, te, clients=self.clients_per_partition
-                )
-                fetch = self.tgi.last_fetch_stats
-                sim_ms += fetch.sim_time_ms
-                stats.requests += fetch.num_requests
-                stats.bytes_read += fetch.bytes_read
-                out.append(NodeT(history))
-            stats.partition_sim_ms.append(sim_ms)
+            if not chunk:
+                continue
+            histories = self.tgi.get_node_histories(
+                chunk, ts, te, clients=self.clients_per_partition
+            )
+            fetch = self.tgi.last_fetch_stats
+            stats.absorb(fetch)
+            stats.partition_sim_ms.append(fetch.sim_time_ms)
+            out.extend(NodeT(history) for history in histories)
         self.last_fetch_stats = stats
         return out
 
@@ -118,23 +130,26 @@ class TGIHandler:
         at each queried time.
         """
         histories: Dict[NodeId, NodeT] = {}
-        sim_ms = 0.0
-        requests = 0
-        bytes_read = 0
+        fetch_total = FetchStats()
 
-        def fetch_one(nid: NodeId) -> NodeT:
-            nonlocal sim_ms, requests, bytes_read
-            history = self.tgi.get_node_history(
-                nid, ts, te, clients=self.clients_per_partition
+        def fetch_batch(nids: Sequence[NodeId]) -> List[NodeT]:
+            """One batched history fetch for a whole frontier level."""
+            got = self.tgi.get_node_histories(
+                list(nids), ts, te, clients=self.clients_per_partition
             )
-            fetch = self.tgi.last_fetch_stats
-            sim_ms += fetch.sim_time_ms
-            requests += fetch.num_requests
-            bytes_read += fetch.bytes_read
-            return NodeT(history)
+            fetch_total.merge(self.tgi.last_fetch_stats)
+            return [NodeT(history) for history in got]
 
-        root = fetch_one(center)
+        def finish() -> ParallelFetchStats:
+            stats = ParallelFetchStats(num_workers=self.sc.num_workers)
+            stats.partition_sim_ms.append(fetch_total.sim_time_ms)
+            stats.absorb(fetch_total)
+            self.last_fetch_stats = stats
+            return stats
+
+        root = fetch_batch([center])[0]
         if root.history.initial is None and not root.history.events:
+            finish()  # the root probe still cost a fetch; report it
             return None
         histories[center] = root
         frontier = {center}
@@ -145,40 +160,31 @@ class TGIHandler:
                 state = nt.history.initial
                 if state is not None:
                     nbrs |= state.E
-                from repro.index.interface import evolve_node_state
-
                 for ev in nt.events:
                     state = evolve_node_state(state, ev, nid)
                     if state is not None:
                         nbrs |= state.E
-            new = nbrs - set(histories)
-            for nid in sorted(new):
-                histories[nid] = fetch_one(nid)
-            frontier = new
-            if not frontier:
+            new = sorted(nbrs - set(histories))
+            if not new:
                 break
+            for nid, nt in zip(new, fetch_batch(new)):
+                histories[nid] = nt
+            frontier = set(new)
 
         # initial edge attributes among members, from the store's k-hop view
         edge_attrs: Dict[Tuple[NodeId, NodeId], dict] = {}
         try:
             g0 = self.tgi.get_khop(center, ts, k=k,
                                    clients=self.clients_per_partition)
-            fetch = self.tgi.last_fetch_stats
-            sim_ms += fetch.sim_time_ms
-            requests += fetch.num_requests
-            bytes_read += fetch.bytes_read
+            fetch_total.merge(self.tgi.last_fetch_stats)
             for (u, v) in g0.edges():
                 attrs = g0.edge_attrs(u, v)
                 if attrs:
                     edge_attrs[canonical_edge(u, v)] = dict(attrs)
-        except Exception:
+        except IndexError_:
             pass  # center not alive at ts; attrs resolved from events
 
-        stats = ParallelFetchStats(num_workers=self.sc.num_workers)
-        stats.partition_sim_ms.append(sim_ms)
-        stats.requests = requests
-        stats.bytes_read = bytes_read
-        self.last_fetch_stats = stats
+        finish()
         return SubgraphT(center, k, histories, edge_attrs)
 
     def fetch_subgraphs(
@@ -199,9 +205,12 @@ class TGIHandler:
             sim_ms = 0.0
             for nid in chunk:
                 sg = self.fetch_subgraph(nid, k, ts, te)
-                sim_ms += self.last_fetch_stats.sim_time_ms
-                total.requests += self.last_fetch_stats.requests
-                total.bytes_read += self.last_fetch_stats.bytes_read
+                fetch = self.last_fetch_stats
+                sim_ms += fetch.sim_time_ms
+                total.requests += fetch.requests
+                total.bytes_read += fetch.bytes_read
+                total.rounds += fetch.rounds
+                total.cache_hits += fetch.cache_hits
                 if sg is not None:
                     out.append(sg)
             total.partition_sim_ms.append(sim_ms)

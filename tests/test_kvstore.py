@@ -253,6 +253,18 @@ def test_writes_skip_down_machine():
     assert key in c.machines[other]
 
 
+def test_delete_skips_down_machine():
+    c = Cluster(ClusterConfig(num_machines=2, replication=2))
+    key = (0, 1, ("S", 0), 0)
+    c.put(key, "v")
+    down = c.replicas_for((0, 1))[0]
+    c.fail_machine(down)
+    c.delete(key)  # must not raise: the down replica just stays stale
+    assert key in c.machines[down]
+    other = [m for m in c.replicas_for((0, 1)) if m != down][0]
+    assert key not in c.machines[other]
+
+
 def test_tgi_survives_single_machine_failure():
     from repro.index.tgi import TGI, TGIConfig
     from tests.helpers import random_history

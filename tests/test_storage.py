@@ -56,9 +56,22 @@ def test_load_rejects_garbage(tmp_path):
 def test_load_rejects_wrong_payload(tmp_path):
     import pickle
 
+    from repro.storage import _FORMAT_VERSION
+
     path = tmp_path / "wrong.hgs"
-    path.write_bytes(pickle.dumps({"magic": "hgs-index", "format": 1,
+    path.write_bytes(pickle.dumps({"magic": "hgs-index",
+                                   "format": _FORMAT_VERSION,
                                    "class": "X", "index": 42}))
+    with pytest.raises(PersistenceError):
+        load_index(path)
+
+
+def test_load_rejects_pre_exec_layer_format(tmp_path):
+    import pickle
+
+    path = tmp_path / "old.hgs"
+    path.write_bytes(pickle.dumps({"magic": "hgs-index", "format": 1,
+                                   "class": "TGI", "index": None}))
     with pytest.raises(PersistenceError):
         load_index(path)
 
