@@ -1,0 +1,134 @@
+"""Pipelined + shared-frontier SoTS retrieval vs the per-center loop.
+
+``TGIHandler.fetch_subgraphs`` used to expand one center at a time: every
+center re-fetched the shared root deltas of its partitions' tree paths and
+paid its own multiget rounds — an O(centers) round multiplier on the
+analytics path.  With ``TGIConfig.pipeline`` enabled, each analytics chunk
+drives *all* its centers through one shared frontier (per-level dedup of
+micro-partition keys across centers) and overlaps the temporal-member BFS
+with the k-hop edge-attribute plan on a shared execution timeline.
+
+Reported per strategy: store requests, bytes read, multiget rounds,
+simulated fetch ms, overlap-saved sim-ms, wall-clock ms.  The sequential
+row is also checked against a hand-rolled per-center loop to pin the
+default configuration to the PR 1 fetch counts.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.spark.rdd import SparkContext
+from repro.taf.handler import TGIHandler
+
+from benchmarks.conftest import build_tgi, print_series, probe_nodes
+
+N_CENTERS = 24
+K = 2
+WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def setup(dataset1_events):
+    t_end = dataset1_events[-1].time
+    ts, te = t_end // 8, t_end
+    centers = probe_nodes(dataset1_events, N_CENTERS, seed=23, alive_at=te)
+    return dataset1_events, centers, ts, te
+
+
+def _measure(label, handler, centers, ts, te):
+    start = time.perf_counter()
+    subgraphs = handler.fetch_subgraphs(centers, K, ts, te)
+    wall_ms = (time.perf_counter() - start) * 1e3
+    stats = handler.last_fetch_stats
+    return {
+        "label": label,
+        "subgraphs": subgraphs,
+        "requests": stats.requests,
+        "bytes": stats.bytes_read,
+        "rounds": stats.rounds,
+        "sim_ms": stats.sim_time_ms,
+        "overlap_ms": stats.overlap_saved_ms,
+        "wall_ms": wall_ms,
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential(setup):
+    events, centers, ts, te = setup
+    tgi = build_tgi(events)
+    handler = TGIHandler(tgi, SparkContext(num_workers=WORKERS))
+    row = _measure("per-center sequential", handler, centers, ts, te)
+    # pin the default path to PR 1 accounting: fetch_subgraphs must cost
+    # exactly what the per-center fetch_subgraph loop costs
+    loop_requests = 0
+    loop_rounds = 0
+    for center in centers:
+        handler.fetch_subgraph(center, K, ts, te)
+        loop_requests += handler.last_fetch_stats.requests
+        loop_rounds += handler.last_fetch_stats.rounds
+    row["loop_requests"] = loop_requests
+    row["loop_rounds"] = loop_rounds
+    return row
+
+
+@pytest.fixture(scope="module")
+def pipelined(setup):
+    events, centers, ts, te = setup
+    tgi = build_tgi(events, pipeline=True)
+    handler = TGIHandler(tgi, SparkContext(num_workers=WORKERS))
+    return _measure("pipelined shared-frontier", handler, centers, ts, te)
+
+
+def _fmt(row):
+    return (
+        f"{row['label']:<26} {row['requests']:>6} req {row['rounds']:>5} "
+        f"rounds {row['bytes'] / 1024:>9.1f} KiB {row['sim_ms']:>8.1f} "
+        f"sim-ms {row['overlap_ms']:>7.1f} saved {row['wall_ms']:>8.1f} "
+        f"wall-ms"
+    )
+
+
+def test_pipelined_fetch_report(benchmark, sequential, pipelined):
+    rows = benchmark.pedantic(
+        lambda: [sequential, pipelined], rounds=1, iterations=1
+    )
+    print_series(
+        f"Pipelined + shared-frontier SoTS retrieval "
+        f"({N_CENTERS} centers, k={K})", "",
+        [_fmt(r) for r in rows],
+    )
+
+
+def test_default_mode_reproduces_per_center_counts(benchmark, sequential):
+    def _check():
+        assert sequential["requests"] == sequential["loop_requests"]
+        assert sequential["rounds"] == sequential["loop_rounds"]
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+
+
+def test_pipelined_beats_sequential(benchmark, sequential, pipelined):
+    def _check():
+        assert pipelined["rounds"] < sequential["rounds"]
+        assert pipelined["requests"] < sequential["requests"]
+        assert pipelined["sim_ms"] < sequential["sim_ms"]
+        assert pipelined["overlap_ms"] > 0.0
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+
+
+def test_pipelined_results_match_sequential(benchmark, sequential, pipelined):
+    def _check():
+        seq, pipe = sequential["subgraphs"], pipelined["subgraphs"]
+        assert len(seq) == len(pipe)
+        for a, b in zip(seq, pipe):
+            assert a.center == b.center
+            assert {n: nt.history for n, nt in a.members.items()} == (
+                {n: nt.history for n, nt in b.members.items()}
+            )
+            assert a.edge_attrs_initial == b.edge_attrs_initial
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)

@@ -68,6 +68,7 @@ def build_tgi(
     compress: bool = False,
     partitioning: PartitioningStrategy = PartitioningStrategy.RANDOM,
     replicate: bool = False,
+    pipeline: bool = False,
 ) -> TGI:
     """Build a TGI with the paper's parameter names."""
     tgi = TGI(
@@ -77,6 +78,7 @@ def build_tgi(
             micro_partition_size=ps,
             partitioning=partitioning,
             replicate_boundary=replicate,
+            pipeline=pipeline,
             cluster=ClusterConfig(
                 num_machines=m, replication=r, compress=compress
             ),

@@ -68,9 +68,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="1-hop edge-cut replication")
     build.add_argument("--cache-entries", type=int, default=0,
                        help="delta-cache capacity in rows (0 = disabled)")
+    build.add_argument("--pipeline", action="store_true",
+                       help="overlap independent fetch plans on a shared "
+                       "execution timeline (async-client model)")
 
     query = sub.add_parser("query", help="query a saved index")
     query.add_argument("index", help="index file from `hgs build`")
+    query.add_argument("--explain", action="store_true",
+                       help="print the retrieval plan and its cost "
+                       "estimate without executing the fetch")
     qsub = query.add_subparsers(dest="query_kind", required=True)
 
     qsnap = qsub.add_parser("snapshot", help="graph as of a time point")
@@ -126,6 +132,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         ),
         replicate_boundary=args.replicate_boundary,
         delta_cache_entries=args.cache_entries,
+        pipeline=args.pipeline,
         cluster=ClusterConfig(
             num_machines=args.machines,
             replication=args.replication,
@@ -154,6 +161,8 @@ def _fetch_summary(stats) -> dict:
         "rounds": stats.rounds,
         "sim_time_ms": round(stats.sim_time_ms, 2),
     }
+    if getattr(stats, "overlap_saved_ms", 0.0):
+        out["overlap_saved_ms"] = round(stats.overlap_saved_ms, 2)
     if stats.cache_hits or stats.cache_misses:
         out["cache"] = {
             "hits": stats.cache_hits,
@@ -163,8 +172,58 @@ def _fetch_summary(stats) -> dict:
     return out
 
 
+def _cmd_explain(index, args: argparse.Namespace) -> int:
+    """EXPLAIN a query: print its retrieval plan (via the TGI planner) and
+    the cost-model estimate of the fetch, without reading any data."""
+    from repro.index.tgi import TGI, TGIPlanner
+    from repro.kvstore.cost import ExecutionTimeline, simulate_plan
+
+    if not isinstance(index, TGI):
+        print(f"--explain supports TGI indexes (got {type(index).__name__})")
+        return 1
+    planner = TGIPlanner(index)
+    if args.query_kind == "snapshot":
+        plan = planner.plan_snapshot(args.time)
+        clients = args.clients
+    elif args.query_kind == "node":
+        plan = planner.plan_node_history(args.node, args.ts, args.te)
+        clients = 1
+    else:
+        plan = planner.plan_khop(args.node, args.time, k=args.k)
+        clients = 1
+    print(plan.explain())
+    records = index.cluster.plan_records(plan.all_keys(), clients=clients)
+    est = simulate_plan(records, index.cluster.config.cost_model)
+    print(f"estimate: {len(records)} requests, "
+          f"~{est:.2f} sim-ms as one sequential round")
+    if index.config.pipeline:
+        # timeline estimate: group the plan's steps into the multiget
+        # rounds the executor would actually issue (chained steps depend
+        # on data from the first round, so they form a second round) —
+        # overlap accrues only across concurrent plans, not within one
+        # query's dependency chain
+        first_round: list = []
+        chained_round: list = []
+        for step in plan.steps:
+            target = chained_round if step.chained else first_round
+            target.extend(step.keys)
+        timeline = ExecutionTimeline(index.cluster.config.cost_model)
+        at = 0.0
+        for keys in (first_round, chained_round):
+            if not keys:
+                continue
+            timing = timeline.submit(
+                index.cluster.plan_records(keys, clients=clients), at=at
+            )
+            at = timing.completed_ms
+        print(timeline.describe())
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
+    if args.explain:
+        return _cmd_explain(index, args)
     if args.query_kind == "snapshot":
         g = index.get_snapshot(args.time, clients=args.clients)
         print(json.dumps({
@@ -224,6 +283,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "machines": index.config.cluster.num_machines,
                 "replication": index.config.cluster.replication,
                 "delta_cache_entries": index.config.delta_cache_entries,
+                "pipeline": index.config.pipeline,
             })
         print(json.dumps(info, indent=2))
     return 0

@@ -23,7 +23,12 @@ leaving each index method to hand-assemble key lists and call
   exist where a true data dependency forces another round), runs the
   rounds through the cluster's existing cost simulation, and threads one
   :class:`~repro.kvstore.cost.FetchStats` through the whole plan —
-  including round counts and cache counters.
+  including round counts and cache counters.  Independent plans can run
+  *pipelined* (:meth:`~repro.exec.executor.PlanExecutor.execute_many`):
+  rounds are released on a shared
+  :class:`~repro.kvstore.cost.ExecutionTimeline` as soon as their own
+  plan's dependency resolves, overlapping one plan's multigets with the
+  others' rounds and apply work.
 
 - :mod:`repro.exec.cache` — a bounded-LRU
   :class:`~repro.exec.cache.DeltaCache` over decoded rows keyed by delta
@@ -40,7 +45,7 @@ batches whole node populations through them.
 """
 
 from repro.exec.cache import CacheStats, DeltaCache
-from repro.exec.executor import PlanExecutor, PlanResult
+from repro.exec.executor import PipelineResult, PlanExecutor, PlanResult
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, StageFactory
 
 __all__ = [
@@ -49,6 +54,7 @@ __all__ = [
     "FetchPlan",
     "FetchStage",
     "KeyGroup",
+    "PipelineResult",
     "PlanExecutor",
     "PlanResult",
     "StageFactory",

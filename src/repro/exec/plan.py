@@ -61,6 +61,10 @@ class FetchStage:
 
 
 #: A stage computed from the values fetched so far (``None`` = skip).
+#: A factory may also *append* further entries to the running plan's
+#: ``stages`` list (the executor iterates by index), which is how
+#: data-dependent expansions — a BFS whose depth depends on what each
+#: level fetched — stay inside one plan.
 StageFactory = Callable[[Dict[KeyTuple, Any]], Optional[FetchStage]]
 
 

@@ -46,6 +46,12 @@ class TGIConfig:
             decoded rows (0 disables caching, reproducing uncached fetch
             counts exactly; cached fetches report hit/miss counters in
             their ``FetchStats``).
+        pipeline: overlap independent fetch plans on a shared execution
+            timeline (modeling Cassandra's async client drivers) and let
+            the TAF handler drive whole analytics chunks through the
+            shared-frontier batched paths.  Off by default so fetch
+            accounting reproduces the strictly sequential per-center
+            schedule exactly.
         cluster: shape of the backing key-value cluster (``m``, ``r``,
             compression, cost model).
     """
@@ -60,6 +66,7 @@ class TGIConfig:
     collapse: CollapseFunction = CollapseFunction.UNION_MAX
     node_weighting: NodeWeighting = NodeWeighting.UNIFORM
     delta_cache_entries: int = 0
+    pipeline: bool = False
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def __post_init__(self) -> None:

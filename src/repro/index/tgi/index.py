@@ -28,7 +28,7 @@ circuiting repeated rows through the index's
 from __future__ import annotations
 
 import bisect
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deltas.base import Delta, StaticNode
 from repro.deltas.eventlist import EventList
@@ -236,6 +236,19 @@ class TGI(HistoricalGraphIndex):
     # ------------------------------------------------------------------
     # partial-state loading (shared by node / k-hop retrieval)
     # ------------------------------------------------------------------
+    @staticmethod
+    def _pid_scope(
+        span: TimespanInfo, pids: Set[int], include_aux: bool
+    ) -> Set[NodeId]:
+        """Nodes covered by ``pids``: primary members, plus each
+        partition's replicated boundary neighbors when auxiliaries are
+        stored."""
+        scope = {n for n, p in span.node_pid.items() if p in pids}
+        if include_aux:
+            for pid in pids:
+                scope |= set(span.boundary.get(pid, frozenset()))
+        return scope
+
     def _load_pids(
         self,
         span: TimespanInfo,
@@ -247,12 +260,7 @@ class TGI(HistoricalGraphIndex):
         """Reconstruct the states, at time ``t``, of all nodes covered by
         ``pids`` (members plus boundary when ``include_aux``).  Returns the
         partial state, the covered scope, and the fetch stats."""
-        scope: Set[NodeId] = set()
-        for pid in pids:
-            if include_aux:
-                scope |= span.scope_of(pid)
-            else:
-                scope |= {n for n, p in span.node_pid.items() if p == pid}
+        scope = self._pid_scope(span, pids, include_aux)
         plan = FetchPlan(f"load_pids({sorted(pids)}, t={t})")
         stage, path_groups, ekeys = self._snapshot_stage(
             span, t, "partial-state", pids=pids, include_aux=include_aux
@@ -298,6 +306,21 @@ class TGI(HistoricalGraphIndex):
         if not nodes:
             self.last_fetch_stats = FetchStats()
             return []
+        plan, finalize = self._node_histories_plan(nodes, ts, te)
+        result = self.executor.execute(plan, clients=clients)
+        out = finalize(result.values)
+        self.last_fetch_stats = result.stats
+        return out
+
+    def _node_histories_plan(
+        self, nodes: Sequence[NodeId], ts: TimePoint, te: TimePoint
+    ) -> Tuple[FetchPlan, "Callable[[Dict[DeltaKey, object]], List[NodeHistory]]"]:
+        """Build the batched Algorithm-2 plan for ``nodes`` plus a
+        finalizer that maps the executed plan's values back to one
+        :class:`NodeHistory` per input node (input order, duplicates
+        preserved).  Splitting plan from finalizer lets callers compose
+        several history levels — and other plans — into one pipelined
+        execution."""
         span = self._span_at(ts)
         ns = self.config.placement_groups
 
@@ -358,47 +381,48 @@ class TGI(HistoricalGraphIndex):
             )
 
         plan.add_factory(pointer_stage)
-        result = self.executor.execute(plan, clients=clients)
-        values = result.values
 
-        # reconstruct initial states once per partition (scoped loads are
-        # independent per node, so sharing the replay is exact)
-        initial: Dict[NodeId, Optional[StaticNode]] = {}
-        by_pid: Dict[int, List[NodeId]] = {}
-        for node, pid in node_pid.items():
-            if pid is not None:
-                by_pid.setdefault(pid, []).append(node)
-        for pid, members in by_pid.items():
-            path_groups, ekeys = pid_plans[pid]
-            state = PartialState(scope=set(members))
-            for group in path_groups:
-                for key in group:
-                    state.load_delta(values[key])
-            state.apply_events(
-                dedup_sorted(
-                    ev for key in ekeys for ev in values[key] if ev.time <= ts
+        def finalize(values: Dict[DeltaKey, object]) -> List[NodeHistory]:
+            # reconstruct initial states once per partition (scoped loads
+            # are independent per node, so sharing the replay is exact)
+            initial: Dict[NodeId, Optional[StaticNode]] = {}
+            by_pid: Dict[int, List[NodeId]] = {}
+            for node, pid in node_pid.items():
+                if pid is not None:
+                    by_pid.setdefault(pid, []).append(node)
+            for pid, members in by_pid.items():
+                path_groups, ekeys = pid_plans[pid]
+                state = PartialState(scope=set(members))
+                for group in path_groups:
+                    for key in group:
+                        state.load_delta(values[key])
+                state.apply_events(
+                    dedup_sorted(
+                        ev for key in ekeys for ev in values[key]
+                        if ev.time <= ts
+                    )
                 )
-            )
-            for node in members:
-                initial[node] = state.node_state(node)
+                for node in members:
+                    initial[node] = state.node_state(node)
 
-        chains = {n: values[version_chain_key(n, ns)] for n in chain_nodes}
-        histories: Dict[NodeId, NodeHistory] = {}
-        for node in node_pid:
-            changes: List[Event] = []
-            if node in chains:
-                keys = self._vc.pointers_in_range(chains[node], ts, te)
-                changes = dedup_sorted(
-                    ev
-                    for key in keys
-                    for ev in values[key]
-                    if ts < ev.time <= te and ev.touches(node)
+            chains = {n: values[version_chain_key(n, ns)] for n in chain_nodes}
+            histories: Dict[NodeId, NodeHistory] = {}
+            for node in node_pid:
+                changes: List[Event] = []
+                if node in chains:
+                    keys = self._vc.pointers_in_range(chains[node], ts, te)
+                    changes = dedup_sorted(
+                        ev
+                        for key in keys
+                        for ev in values[key]
+                        if ts < ev.time <= te and ev.touches(node)
+                    )
+                histories[node] = NodeHistory(
+                    node, ts, te, initial.get(node), tuple(changes)
                 )
-            histories[node] = NodeHistory(
-                node, ts, te, initial.get(node), tuple(changes)
-            )
-        self.last_fetch_stats = result.stats
-        return [histories[node] for node in nodes]
+            return [histories[node] for node in nodes]
+
+        return plan, finalize
 
     # ------------------------------------------------------------------
     # k-hop neighborhood (Algorithms 3 and 4)
@@ -413,6 +437,10 @@ class TGI(HistoricalGraphIndex):
         include_aux = self.config.replicate_boundary
         pid0 = span.pid_of(node)
         if pid0 is None:
+            # nothing was fetched for this query; reset the stats so a
+            # caller folding them after the raise cannot double-count the
+            # previous query's accounting
+            self.last_fetch_stats = FetchStats()
             raise IndexError_(f"node {node} not alive at t={t}")
 
         total = FetchStats()
@@ -458,6 +486,147 @@ class TGI(HistoricalGraphIndex):
             frontier = {n for n in nxt if merged.node_state(n) is not None}
         self.last_fetch_stats = total
         return merged.to_graph(members)
+
+    def get_khops(
+        self,
+        centers: Sequence[NodeId],
+        t: TimePoint,
+        k: int = 1,
+        clients: int = 1,
+    ) -> List[Optional[Graph]]:
+        """Batched Algorithm 4 with a *shared frontier*.
+
+        At every hop the micro-partitions needed by *any* center's
+        frontier are deduplicated into one plan stage — one multiget
+        round — so a whole population of k-hop queries costs at most
+        ``k + 1`` rounds instead of O(centers · (k + 1)), and partitions
+        shared between neighborhoods are fetched once.  Returns one graph
+        per input center (input order, duplicates preserved); ``None``
+        marks centers not alive at ``t``.  Each alive center's graph is
+        identical to its individual :meth:`get_khop` result.
+        """
+        if not centers:
+            self.last_fetch_stats = FetchStats()
+            return []
+        plan, finalize = self._khops_plan(centers, t, k)
+        result = self.executor.execute(plan, clients=clients)
+        out = finalize(result.values)
+        self.last_fetch_stats = result.stats
+        return out
+
+    def _khops_plan(
+        self, centers: Sequence[NodeId], t: TimePoint, k: int
+    ) -> Tuple[FetchPlan, "Callable[[Dict[DeltaKey, object]], List[Optional[Graph]]]"]:
+        """Build the shared-frontier k-hop plan plus a finalizer mapping
+        the executed values to one graph per input center.
+
+        The plan has one static stage (the centers' own partitions) and
+        ``k`` factory stages; factory ``h`` applies the rows hop ``h - 1``
+        fetched, advances every center's frontier, and emits one stage
+        with the union of the still-missing micro-partition keys across
+        all centers."""
+        span = self._span_at(t)
+        include_aux = self.config.replicate_boundary
+        order = list(dict.fromkeys(centers))
+        alive0 = [c for c in order if span.pid_of(c) is not None]
+        plan = FetchPlan(f"khops({len(order)} centers, t={t}, k={k})")
+
+        merged = PartialState()
+        covered: Set[NodeId] = set()
+        loaded: Set[int] = set()
+        # stages fetched but not yet folded into `merged`
+        pending: List[Tuple[List[List[DeltaKey]], List[DeltaKey], Set[NodeId]]] = []
+        members: Dict[NodeId, Set[NodeId]] = {}
+        frontier: Dict[NodeId, Set[NodeId]] = {}
+        # per center, frontier candidates awaiting the alive-at-t filter
+        candidates: Dict[NodeId, Set[NodeId]] = {}
+        started = [False]
+        hop = [0]
+
+        def stage_for(pids: Set[int]) -> Optional[FetchStage]:
+            pids = pids - loaded
+            if not pids:
+                return None
+            stage, path_groups, ekeys = self._snapshot_stage(
+                span, t, f"khop-frontier-{hop[0]}", pids=pids,
+                include_aux=include_aux,
+            )
+            loaded.update(pids)
+            pending.append(
+                (path_groups, ekeys,
+                 self._pid_scope(span, pids, include_aux))
+            )
+            return stage
+
+        def settle(values: Dict[DeltaKey, object]) -> None:
+            """Fold fetched rows into the merged state, then resolve which
+            of the last hop's candidates are alive at ``t``."""
+            while pending:
+                path_groups, ekeys, scope = pending.pop(0)
+                state = PartialState(scope=scope)
+                for group in path_groups:
+                    for key in group:
+                        state.load_delta(values[key])
+                state.apply_events(
+                    dedup_sorted(
+                        ev for key in ekeys for ev in values[key]
+                        if ev.time <= t
+                    )
+                )
+                covered.update(scope)
+                for n, s in state.nodes.items():
+                    merged.nodes.setdefault(n, s)
+                for e, a in state.edge_attrs.items():
+                    merged.edge_attrs.setdefault(e, a)
+            if not started[0]:
+                started[0] = True
+                for c in alive0:
+                    if merged.node_state(c) is not None:
+                        members[c] = {c}
+                        frontier[c] = {c}
+            else:
+                for c, cand in candidates.items():
+                    alive = {
+                        n for n in cand
+                        if merged.node_state(n) is not None
+                    }
+                    members[c] |= alive
+                    frontier[c] = alive
+                candidates.clear()
+
+        def advance(values: Dict[DeltaKey, object]) -> Optional[FetchStage]:
+            settle(values)
+            hop[0] += 1
+            needed: Set[NodeId] = set()
+            for c, front in frontier.items():
+                cand: Set[NodeId] = set()
+                for n in front:
+                    state = merged.node_state(n)
+                    if state is not None:
+                        cand |= state.E
+                cand -= members[c]
+                candidates[c] = cand
+                needed |= {n for n in cand if n not in covered}
+            pids = {span.pid_of(n) for n in needed}
+            pids.discard(None)
+            return stage_for(pids)
+
+        init = stage_for({span.pid_of(c) for c in alive0})
+        if init is not None:
+            plan.stages.append(init)
+        for _ in range(k):
+            plan.add_factory(advance)
+
+        def finalize(
+            values: Dict[DeltaKey, object],
+        ) -> List[Optional[Graph]]:
+            settle(values)
+            graphs = {
+                c: merged.to_graph(members[c]) for c in members
+            }
+            return [graphs.get(c) for c in centers]
+
+        return plan, finalize
 
     def get_khop_snapshot_first(
         self, node: NodeId, t: TimePoint, k: int = 1, clients: int = 1

@@ -24,10 +24,17 @@ from repro.types import NodeId, TimePoint
 
 @dataclass(frozen=True)
 class PlanStep:
-    """One group of keys fetched for one purpose."""
+    """One group of keys fetched for one purpose.
+
+    ``chained`` marks a step whose keys depend on data from the preceding
+    steps (e.g. version-pointed eventlists resolved from the chain row),
+    so the executor must issue it as a separate, later multiget round;
+    unchained steps all coalesce into the first round.
+    """
 
     purpose: str
     keys: Tuple[DeltaKey, ...]
+    chained: bool = False
 
     @property
     def num_keys(self) -> int:
@@ -111,7 +118,7 @@ class TGIPlanner:
             chain = self.tgi._vc._pending.get(node, [])
             keys = self.tgi._vc.pointers_in_range(tuple(chain), ts, te)
             plan.steps.append(PlanStep("version-pointed eventlists",
-                                       tuple(keys)))
+                                       tuple(keys), chained=True))
         return plan
 
     def plan_khop(self, node: NodeId, t: TimePoint, k: int = 1) -> QueryPlan:

@@ -23,6 +23,7 @@ from repro.errors import KeyNotFound, StorageError
 from repro.kvstore.codec import EncodedValue, decode, encode
 from repro.kvstore.cost import (
     CostModel,
+    ExecutionTimeline,
     FetchStats,
     RequestRecord,
     simulate_plan,
@@ -144,11 +145,23 @@ class Cluster:
     # reads
     # ------------------------------------------------------------------
     def get(self, key: KeyTuple) -> Any:
-        """Un-costed single read (used by metadata lookups and tests)."""
+        """Un-costed single read (used by metadata lookups and tests).
+
+        A live replica can be *stale* (it missed a write while down and was
+        then recovered), so the read falls back to the other live replicas
+        before giving up — the same way reads already route around ``_down``
+        machines.  The fallback treats key *presence* as freshness: a
+        replica that missed a ``delete`` while down still serves the old
+        row after recovery (no tombstones — the same simplification
+        :meth:`delete` documents).
+        """
         if self._placement_len is None:
             raise KeyNotFound(f"empty cluster has no key {key!r}")
-        machine_id = self._live_replicas(key[: self._placement_len])[0]
-        return decode(self.machines[machine_id].get(key).payload)
+        for machine_id in self._live_replicas(key[: self._placement_len]):
+            node = self.machines[machine_id]
+            if key in node:
+                return decode(node.get(key).payload)
+        raise KeyNotFound(f"key {key!r} not on any live replica")
 
     def scan_prefix(self, prefix: KeyTuple) -> List[Tuple[KeyTuple, Any]]:
         """Un-costed prefix scan against the primary replica of ``prefix``.
@@ -167,41 +180,39 @@ class Cluster:
             for k, v in self.machines[machine_id].scan_prefix(prefix)
         ]
 
-    def multiget(
-        self, keys: Sequence[KeyTuple], clients: int = 1
-    ) -> Tuple[Dict[KeyTuple, Any], FetchStats]:
-        """Costed parallel read of ``keys`` with ``clients`` parallel
-        fetchers.
-
-        Returns the decoded values and the fetch statistics, including the
-        simulated completion time of the plan.  Missing keys raise
-        :class:`KeyNotFound`.
-        """
-        if clients < 1:
-            raise StorageError("need at least one fetch client")
-        if self._placement_len is None:
-            if keys:
-                raise KeyNotFound(f"empty cluster has no key {keys[0]!r}")
-            return {}, FetchStats()
+    def _route(self, keys: Sequence[KeyTuple]) -> Dict[KeyTuple, int]:
+        """Route every key to its least-loaded live replica *holding the
+        key* (greedy balancing -- this is where replication r > 1 buys
+        parallelism, Fig. 12c).  A live replica can be stale after
+        ``recover_machine``, so routing falls back to the other live
+        replicas before raising :class:`KeyNotFound`."""
         plen = self._placement_len
-        model = self.config.cost_model
-
-        # route every key to its least-loaded replica (greedy balancing --
-        # this is where replication r > 1 buys parallelism, Fig. 12c)
         server_load: Dict[int, int] = {i: 0 for i in range(len(self.machines))}
         assignment: Dict[KeyTuple, int] = {}
         for key in keys:
             replicas = self._live_replicas(key[:plen])
-            best = min(replicas, key=lambda mid: server_load[mid])
+            holding = [m for m in replicas if key in self.machines[m]]
+            if not holding:
+                raise KeyNotFound(f"key {key!r} not on any live replica")
+            best = min(holding, key=lambda mid: server_load[mid])
             assignment[key] = best
             server_load[best] += 1
+        return assignment
 
-        # group per server and sort in clustering order for scan contiguity
+    def _plan_requests(
+        self, keys: Sequence[KeyTuple], clients: int, client_offset: int = 0
+    ) -> Tuple[List[RequestRecord], Dict[KeyTuple, EncodedValue]]:
+        """Route and cost ``keys`` into one multiget round: group per
+        server, sort in clustering order for scan contiguity, and price
+        each request with the cost model.  Returns the costed records and
+        the encoded rows (not yet decoded)."""
+        model = self.config.cost_model
+        assignment = self._route(keys)
         per_server: Dict[int, List[KeyTuple]] = {}
         for key in keys:
             per_server.setdefault(assignment[key], []).append(key)
 
-        values: Dict[KeyTuple, Any] = {}
+        encoded_rows: Dict[KeyTuple, EncodedValue] = {}
         records: List[RequestRecord] = []
         rr_client = 0
         for server_id, server_keys in sorted(per_server.items()):
@@ -223,7 +234,7 @@ class Cluster:
                     RequestRecord(
                         key=key,
                         server=server_id,
-                        client=rr_client % clients,
+                        client=client_offset + rr_client % clients,
                         stored_bytes=encoded.stored_size,
                         raw_bytes=encoded.raw_size,
                         contiguous=contiguous,
@@ -232,10 +243,68 @@ class Cluster:
                     )
                 )
                 rr_client += 1
-                values[key] = decode(encoded.payload)
+                encoded_rows[key] = encoded
+        return records, encoded_rows
 
+    def plan_records(
+        self, keys: Sequence[KeyTuple], clients: int = 1,
+        client_offset: int = 0,
+    ) -> List[RequestRecord]:
+        """Cost a prospective multiget round without decoding any value —
+        the store-side half of an EXPLAIN.  Routing, contiguity and service
+        times are computed exactly as :meth:`multiget` would."""
+        if clients < 1:
+            raise StorageError("need at least one fetch client")
+        if self._placement_len is None:
+            if keys:
+                raise KeyNotFound(f"empty cluster has no key {keys[0]!r}")
+            return []
+        records, _ = self._plan_requests(keys, clients, client_offset)
+        return records
+
+    def multiget(
+        self,
+        keys: Sequence[KeyTuple],
+        clients: int = 1,
+        timeline: Optional[ExecutionTimeline] = None,
+        at: float = 0.0,
+        client_offset: int = 0,
+    ) -> Tuple[Dict[KeyTuple, Any], FetchStats]:
+        """Costed parallel read of ``keys`` with ``clients`` parallel
+        fetchers.
+
+        Returns the decoded values and the fetch statistics, including the
+        simulated completion time of the plan.  Missing keys raise
+        :class:`KeyNotFound`.
+
+        When ``timeline`` is given the round is also issued against that
+        shared :class:`ExecutionTimeline`, released at time ``at`` — the
+        returned ``sim_time_ms`` remains the round's standalone cost, while
+        the timeline records when the round actually completes amid the
+        other in-flight rounds (``timeline.rounds[-1]``).  ``client_offset``
+        shifts the round's client ids into a distinct namespace so that
+        concurrent plans model independent async client contexts instead of
+        queueing on one shared fetcher (a constant shift never changes the
+        round's standalone cost).
+        """
+        if clients < 1:
+            raise StorageError("need at least one fetch client")
+        if self._placement_len is None:
+            if keys:
+                raise KeyNotFound(f"empty cluster has no key {keys[0]!r}")
+            return {}, FetchStats()
+
+        records, encoded_rows = self._plan_requests(
+            keys, clients, client_offset
+        )
+        values = {
+            key: decode(encoded.payload)
+            for key, encoded in encoded_rows.items()
+        }
         stats = FetchStats(requests=records, rounds=1 if keys else 0)
-        stats.sim_time_ms = simulate_plan(records, model)
+        stats.sim_time_ms = simulate_plan(records, self.config.cost_model)
+        if timeline is not None and records:
+            timeline.submit(records, at=at)
         return values, stats
 
     # ------------------------------------------------------------------

@@ -23,7 +23,9 @@ from repro.index.interface import HistoricalGraphIndex
 _MAGIC = "hgs-index"
 # 2: indexes carry the fetch-plan executor / delta-cache attributes
 # (repro.exec); version-1 files lack them and would fail at query time
-_FORMAT_VERSION = 2
+# 3: TGIConfig carries the `pipeline` toggle; version-2 files would fail
+# on config access during pipelined execution
+_FORMAT_VERSION = 3
 
 
 class PersistenceError(HGSError):

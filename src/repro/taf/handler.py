@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import IndexError_
+from repro.exec import FetchPlan
 from repro.graph.events import Event
 from repro.index.interface import NodeHistory, evolve_node_state
 from repro.index.tgi.index import TGI
@@ -20,6 +21,19 @@ from repro.kvstore.cost import FetchStats
 from repro.spark.rdd import SparkContext, lpt_makespan
 from repro.taf.node_t import NodeT, SubgraphT
 from repro.types import NodeId, TimePoint, canonical_edge
+
+
+def _neighbors_over_time(nt: NodeT) -> Set[NodeId]:
+    """Every node that is a neighbor of ``nt`` at any point it covers."""
+    nbrs: Set[NodeId] = set()
+    state = nt.history.initial
+    if state is not None:
+        nbrs |= state.E
+    for ev in nt.events:
+        state = evolve_node_state(state, ev, nt.node_id)
+        if state is not None:
+            nbrs |= state.E
+    return nbrs
 
 
 @dataclass
@@ -37,6 +51,7 @@ class ParallelFetchStats:
     bytes_read: int = 0
     rounds: int = 0
     cache_hits: int = 0
+    overlap_saved_ms: float = 0.0
 
     @property
     def sim_time_ms(self) -> float:
@@ -48,6 +63,7 @@ class ParallelFetchStats:
         self.bytes_read += fetch.bytes_read
         self.rounds += fetch.rounds
         self.cache_hits += fetch.cache_hits
+        self.overlap_saved_ms += fetch.overlap_saved_ms
 
 
 class TGIHandler:
@@ -156,14 +172,7 @@ class TGIHandler:
         for _ in range(k):
             nbrs: Set[NodeId] = set()
             for nid in frontier:
-                nt = histories[nid]
-                state = nt.history.initial
-                if state is not None:
-                    nbrs |= state.E
-                for ev in nt.events:
-                    state = evolve_node_state(state, ev, nid)
-                    if state is not None:
-                        nbrs |= state.E
+                nbrs |= _neighbors_over_time(histories[nid])
             new = sorted(nbrs - set(histories))
             if not new:
                 break
@@ -182,7 +191,10 @@ class TGIHandler:
                 if attrs:
                     edge_attrs[canonical_edge(u, v)] = dict(attrs)
         except IndexError_:
-            pass  # center not alive at ts; attrs resolved from events
+            # center not alive at ts; attrs resolved from events — but the
+            # probe may have fetched rows before discovering that, so its
+            # accounting still counts
+            fetch_total.merge(self.tgi.last_fetch_stats)
 
         finish()
         return SubgraphT(center, k, histories, edge_attrs)
@@ -194,7 +206,17 @@ class TGIHandler:
         ts: TimePoint,
         te: TimePoint,
     ) -> List[SubgraphT]:
-        """Parallel fetch of temporal subgraphs (the SoTS data path)."""
+        """Parallel fetch of temporal subgraphs (the SoTS data path).
+
+        With ``TGIConfig.pipeline`` enabled, each analytics chunk is driven
+        through the shared-frontier batched path
+        (:meth:`_fetch_subgraph_batch`): every BFS level fetches the whole
+        chunk's frontier in one batched history plan, the k-hop edge-attr
+        plan runs overlapped with the expansion, and the chunk costs
+        O(levels) rounds instead of O(centers · levels).  The default
+        (non-pipelined) configuration keeps the strictly sequential
+        per-center schedule, reproducing its fetch counts exactly.
+        """
         total = ParallelFetchStats(num_workers=self.sc.num_workers)
         parts = self.sc.parallelize(centers).num_partitions
         chunks: List[List[NodeId]] = [[] for _ in range(parts)]
@@ -202,6 +224,16 @@ class TGIHandler:
             chunks[i % parts].append(nid)
         out: List[SubgraphT] = []
         for chunk in chunks:
+            if not chunk:
+                continue
+            if self.tgi.config.pipeline:
+                subgraphs, fetch = self._fetch_subgraph_batch(
+                    chunk, k, ts, te
+                )
+                total.absorb(fetch)
+                total.partition_sim_ms.append(fetch.sim_time_ms)
+                out.extend(sg for sg in subgraphs if sg is not None)
+                continue
             sim_ms = 0.0
             for nid in chunk:
                 sg = self.fetch_subgraph(nid, k, ts, te)
@@ -216,3 +248,90 @@ class TGIHandler:
             total.partition_sim_ms.append(sim_ms)
         self.last_fetch_stats = total
         return out
+
+    def _fetch_subgraph_batch(
+        self,
+        centers: Sequence[NodeId],
+        k: int,
+        ts: TimePoint,
+        te: TimePoint,
+    ) -> Tuple[List[Optional[SubgraphT]], FetchStats]:
+        """Whole-chunk SoTS fetch on the shared frontier.
+
+        Builds two independent plans and executes them pipelined on one
+        shared timeline: (a) the temporal-member BFS — each hop fetches the
+        union of every center's new frontier nodes in one batched history
+        plan (levels grow the plan dynamically via factories); (b) the
+        shared-frontier k-hop plan supplying the initial edge attributes
+        at ``ts``.  Per-center results are identical to
+        :meth:`fetch_subgraph`; only the fetch schedule differs.
+        """
+        tgi = self.tgi
+        order = list(dict.fromkeys(centers))
+        histories: Dict[NodeId, NodeT] = {}
+        members: Dict[NodeId, Set[NodeId]] = {c: {c} for c in order}
+        frontier: Dict[NodeId, Set[NodeId]] = {c: {c} for c in order}
+
+        plan_a = FetchPlan(
+            f"subgraph-histories({len(order)} centers, k={k}, "
+            f"ts={ts}, te={te})"
+        )
+
+        def add_level(nodes: List[NodeId], hops_done: int) -> None:
+            """Append one batched history fetch for ``nodes`` plus the
+            factory that records the results and expands further hops."""
+            subplan, finalize = tgi._node_histories_plan(nodes, ts, te)
+            plan_a.stages.extend(subplan.stages)
+
+            def expand(values: Dict) -> None:
+                for nid, history in zip(nodes, finalize(values)):
+                    histories[nid] = NodeT(history)
+                hop = hops_done
+                while hop < k:
+                    hop += 1
+                    fetch: Set[NodeId] = set()
+                    for c in order:
+                        nbrs: Set[NodeId] = set()
+                        for nid in frontier[c]:
+                            nbrs |= _neighbors_over_time(histories[nid])
+                        cand = nbrs - members[c]
+                        members[c] |= cand
+                        frontier[c] = cand
+                        fetch |= cand
+                    new = sorted(n for n in fetch if n not in histories)
+                    if new:
+                        add_level(new, hop)
+                        return None
+                    if not any(frontier.values()):
+                        return None
+                return None
+
+            plan_a.add_factory(expand)
+
+        add_level(list(order), 0)
+        plan_b, finalize_b = tgi._khops_plan(order, ts, k)
+        pipelined = tgi.executor.execute_many(
+            [plan_a, plan_b], clients=self.clients_per_partition,
+            pipelined=True,
+        )
+        khop_graphs = dict(zip(order, finalize_b(pipelined.results[1].values)))
+
+        subgraphs: Dict[NodeId, Optional[SubgraphT]] = {}
+        for center in order:
+            root = histories[center]
+            if root.history.initial is None and not root.events:
+                subgraphs[center] = None
+                continue
+            edge_attrs: Dict[Tuple[NodeId, NodeId], dict] = {}
+            g0 = khop_graphs.get(center)
+            if g0 is not None:
+                for (u, v) in g0.edges():
+                    attrs = g0.edge_attrs(u, v)
+                    if attrs:
+                        edge_attrs[canonical_edge(u, v)] = dict(attrs)
+            subgraphs[center] = SubgraphT(
+                center, k,
+                {nid: histories[nid] for nid in members[center]},
+                edge_attrs,
+            )
+        return [subgraphs[c] for c in centers], pipelined.stats

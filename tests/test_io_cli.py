@@ -120,3 +120,41 @@ def test_cli_build_mincut_options(tmp_path, capsys):
         "--mincut", "--replicate-boundary", "--machines", "3",
         "--replication", "2", "--compress",
     ]) == 0
+
+
+def test_cli_explain_prints_plan_without_fetching(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    index = tmp_path / "i.hgs"
+    main(["generate", "citation", str(trace), "--nodes", "80"])
+    main(["build", str(trace), str(index), "--span", "200",
+          "--eventlist", "50", "--partition-size", "20"])
+    capsys.readouterr()
+
+    assert main(["query", str(index), "--explain", "snapshot", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "QueryPlan[snapshot(t=200)]" in out
+    assert "estimate:" in out
+    assert "snapshot" in out and "{" not in out  # no executed-query JSON
+
+    assert main(["query", str(index), "--explain", "node", "5", "50",
+                 "300"]) == 0
+    out = capsys.readouterr().out
+    assert "QueryPlan[node_history" in out
+
+    assert main(["query", str(index), "--explain", "khop", "5", "300",
+                 "-k", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "QueryPlan[khop" in out
+
+
+def test_cli_explain_pipelined_shows_timeline(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    index = tmp_path / "i.hgs"
+    main(["generate", "citation", str(trace), "--nodes", "80"])
+    main(["build", str(trace), str(index), "--span", "200",
+          "--eventlist", "50", "--partition-size", "20", "--pipeline"])
+    capsys.readouterr()
+    assert main(["query", str(index), "--explain", "snapshot", "200"]) == 0
+    out = capsys.readouterr().out
+    assert "ExecutionTimeline[" in out
+    assert "overlap saved" in out

@@ -1,0 +1,451 @@
+"""Tests for pipelined plan execution: the ExecutionTimeline cost model,
+PlanExecutor.execute_many, the shared-frontier batched k-hop, the
+pipelined TAF subgraph path, and the replica-fallback read path."""
+
+import pytest
+
+from repro.errors import IndexError_, KeyNotFound
+from repro.exec import DeltaCache, FetchPlan, FetchStage, KeyGroup, PlanExecutor
+from repro.index.tgi import TGI, TGIConfig
+from repro.kvstore.cluster import Cluster, ClusterConfig
+from repro.kvstore.cost import (
+    CostModel,
+    ExecutionTimeline,
+    FetchStats,
+    RequestRecord,
+    simulate_plan,
+)
+from repro.spark.rdd import SparkContext
+from repro.taf.handler import TGIHandler
+from tests.helpers import random_history
+
+
+# -- ExecutionTimeline -------------------------------------------------------
+
+def _records(client, server, n, service=1.0):
+    return [
+        RequestRecord((client, server, i), server=server, client=client,
+                      stored_bytes=0, raw_bytes=0, contiguous=False,
+                      compressed=False, service_ms=service)
+        for i in range(n)
+    ]
+
+
+def test_single_round_matches_simulate_plan():
+    model = CostModel()
+    recs = _records(0, 0, 4) + _records(1, 1, 3)
+    timeline = ExecutionTimeline(model)
+    timing = timeline.submit(recs)
+    assert timing.completed_ms == pytest.approx(simulate_plan(recs, model))
+    assert timing.standalone_ms == pytest.approx(simulate_plan(recs, model))
+
+
+def test_chained_rounds_reproduce_sequential_sum():
+    model = CostModel()
+    timeline = ExecutionTimeline(model)
+    t1 = timeline.submit(_records(0, 0, 4))
+    t2 = timeline.submit(_records(0, 0, 2), at=t1.completed_ms)
+    assert t2.completed_ms == pytest.approx(
+        t1.standalone_ms + t2.standalone_ms
+    )
+    assert timeline.overlap_saved_ms == pytest.approx(0.0)
+
+
+def test_independent_rounds_overlap():
+    model = CostModel()
+    timeline = ExecutionTimeline(model)
+    # different clients, different servers: fully parallel
+    a = timeline.submit(_records(0, 0, 4))
+    b = timeline.submit(_records(1, 1, 4))
+    assert timeline.makespan_ms == pytest.approx(
+        max(a.standalone_ms, b.standalone_ms)
+    )
+    assert timeline.overlap_saved_ms > 0.0
+
+
+def test_overlap_bounded_by_sequential_and_slowest():
+    model = CostModel()
+    timeline = ExecutionTimeline(model)
+    rounds = [
+        timeline.submit(_records(i % 2, i % 3, 2 + i)) for i in range(5)
+    ]
+    assert timeline.makespan_ms <= timeline.sequential_ms + 1e-9
+    assert timeline.makespan_ms >= max(r.standalone_ms for r in rounds) - 1e-9
+    assert timeline.overlap_saved_ms >= 0.0
+
+
+def test_shared_resource_rounds_queue():
+    model = CostModel()
+    timeline = ExecutionTimeline(model)
+    # same client pool: the second round waits for the first
+    a = timeline.submit(_records(0, 0, 4))
+    b = timeline.submit(_records(0, 1, 4))
+    assert b.completed_ms == pytest.approx(
+        a.standalone_ms + b.standalone_ms
+    )
+
+
+def test_timeline_describe_mentions_rounds():
+    timeline = ExecutionTimeline(CostModel())
+    timeline.submit(_records(0, 0, 2))
+    text = timeline.describe()
+    assert "1 rounds" in text and "makespan" in text
+
+
+def test_merge_concurrent_takes_timeline_completion():
+    a = FetchStats(sim_time_ms=2.0, rounds=1)
+    b = FetchStats(sim_time_ms=3.0, rounds=2)
+    a.merge_concurrent(b, completed_at_ms=3.5)
+    assert a.sim_time_ms == pytest.approx(3.5)
+    assert a.rounds == 3
+
+
+# -- execute_many ------------------------------------------------------------
+
+def _loaded_cluster(rows=24, machines=3):
+    cluster = Cluster(ClusterConfig(num_machines=machines))
+    keys = [(i % 4, i % 2, ("S", 0), i) for i in range(rows)]
+    for key in keys:
+        cluster.put(key, {"row": key[3]})
+    return cluster, keys
+
+
+def _two_plans(keys):
+    """Two independent two-stage plans over disjoint key halves."""
+    half = len(keys) // 2
+    plans = []
+    for label, chunk in (("a", keys[:half]), ("b", keys[half:])):
+        plan = FetchPlan(label)
+        plan.add_stage(f"{label}-1", KeyGroup("rows", tuple(chunk[:-2])))
+
+        def followup(values, tail=tuple(chunk[-2:]), lbl=label):
+            return FetchStage(f"{lbl}-2", (KeyGroup("derived", tail),))
+
+        plan.add_factory(followup)
+        plans.append(plan)
+    return plans
+
+
+def test_execute_many_fetches_same_keys_as_sequential():
+    cluster, keys = _loaded_cluster()
+    seq = PlanExecutor(cluster).execute_many(
+        _two_plans(keys), pipelined=False
+    )
+    pipe = PlanExecutor(cluster).execute_many(
+        _two_plans(keys), pipelined=True
+    )
+    for s, p in zip(seq.results, pipe.results):
+        assert set(s.values) == set(p.values)
+        assert s.values == p.values
+        assert {r.key for r in s.stats.requests} == (
+            {r.key for r in p.stats.requests}
+        )
+        assert s.stats.rounds == p.stats.rounds
+    assert {r.key for r in seq.stats.requests} == (
+        {r.key for r in pipe.stats.requests}
+    )
+
+
+def test_execute_many_sim_bounds():
+    cluster, keys = _loaded_cluster()
+    seq = PlanExecutor(cluster).execute_many(
+        _two_plans(keys), pipelined=False
+    )
+    pipe = PlanExecutor(cluster).execute_many(
+        _two_plans(keys), pipelined=True
+    )
+    # overlapped completion: never worse than sequential, never better
+    # than the slowest dependency chain
+    assert pipe.stats.sim_time_ms <= seq.stats.sim_time_ms + 1e-9
+    slowest_chain = max(r.stats.sim_time_ms for r in seq.results)
+    assert pipe.stats.sim_time_ms >= slowest_chain - 1e-9
+    assert pipe.stats.overlap_saved_ms >= 0.0
+    assert pipe.timeline is not None
+    assert pipe.stats.sim_time_ms == pytest.approx(
+        pipe.timeline.makespan_ms
+    )
+
+
+def test_execute_many_per_plan_attribution():
+    cluster, keys = _loaded_cluster()
+    pipe = PlanExecutor(cluster).execute_many(
+        _two_plans(keys), pipelined=True
+    )
+    for result in pipe.results:
+        assert result.stats.rounds == 2
+        # a plan completes no later than the whole schedule
+        assert result.stats.sim_time_ms <= pipe.stats.sim_time_ms + 1e-9
+    assert pipe.stats.rounds == 4
+
+
+def test_execute_many_cache_behavior_identical():
+    cluster, keys = _loaded_cluster()
+    cold_seq = PlanExecutor(cluster, DeltaCache(256)).execute_many(
+        _two_plans(keys), pipelined=False
+    )
+    cold_pipe = PlanExecutor(cluster, DeltaCache(256)).execute_many(
+        _two_plans(keys), pipelined=True
+    )
+    assert cold_seq.stats.cache_hits == cold_pipe.stats.cache_hits
+    assert cold_seq.stats.cache_misses == cold_pipe.stats.cache_misses
+
+    # warm caches: both modes serve everything locally
+    cache_a, cache_b = DeltaCache(256), DeltaCache(256)
+    ex_a = PlanExecutor(cluster, cache_a)
+    ex_b = PlanExecutor(cluster, cache_b)
+    ex_a.execute_many(_two_plans(keys), pipelined=False)
+    ex_b.execute_many(_two_plans(keys), pipelined=True)
+    warm_seq = ex_a.execute_many(_two_plans(keys), pipelined=False)
+    warm_pipe = ex_b.execute_many(_two_plans(keys), pipelined=True)
+    assert warm_seq.stats.num_requests == 0
+    assert warm_pipe.stats.num_requests == 0
+    assert warm_seq.stats.cache_hits == warm_pipe.stats.cache_hits
+    assert warm_pipe.stats.sim_time_ms == 0.0
+
+
+def test_execute_many_dynamic_plan_growth():
+    """A factory may append further entries to its own running plan."""
+    cluster, keys = _loaded_cluster()
+    plan = FetchPlan("dynamic")
+    plan.add_stage("seed", KeyGroup("rows", (keys[0],)))
+
+    def grow(values):
+        plan.add_stage("grown", KeyGroup("rows", (keys[1],)))
+        return None
+
+    plan.add_factory(grow)
+    result = PlanExecutor(cluster).execute(plan)
+    assert keys[1] in result.values
+    assert result.stats.rounds == 2
+    pipe = PlanExecutor(cluster).execute_many(
+        [plan], pipelined=True
+    )
+    assert keys[1] in pipe.results[0].values
+
+
+# -- replica fallback --------------------------------------------------------
+
+def _stale_replica_cluster():
+    """Write a key while one replica is down, then recover it: the
+    recovered machine is live but stale for that key."""
+    cluster = Cluster(ClusterConfig(num_machines=3, replication=2))
+    probe = (0, 0, ("S", 0), 0)
+    holders = cluster.replicas_for(probe[:2])
+    cluster.fail_machine(holders[0])
+    cluster.put(probe, "fresh")
+    cluster.recover_machine(holders[0])
+    assert probe not in cluster.machines[holders[0]]
+    return cluster, probe, holders
+
+
+def test_get_falls_back_to_fresh_replica():
+    cluster, probe, _holders = _stale_replica_cluster()
+    assert cluster.get(probe) == "fresh"
+
+
+def test_multiget_falls_back_to_fresh_replica():
+    cluster, probe, holders = _stale_replica_cluster()
+    values, stats = cluster.multiget([probe])
+    assert values[probe] == "fresh"
+    assert stats.requests[0].server == holders[1]
+
+
+def test_get_raises_when_no_live_replica_has_key():
+    cluster = Cluster(ClusterConfig(num_machines=2))
+    cluster.put((0, 0, ("S", 0), 0), "v")
+    with pytest.raises(KeyNotFound):
+        cluster.get((9, 9, ("S", 9), 9))
+    with pytest.raises(KeyNotFound):
+        cluster.multiget([(9, 9, ("S", 9), 9)])
+
+
+def test_plan_records_match_multiget_without_side_effects():
+    cluster, keys = _loaded_cluster()
+    planned = cluster.plan_records(keys, clients=2)
+    values, stats = cluster.multiget(keys, clients=2)
+    assert [(r.key, r.server, r.client, r.service_ms) for r in planned] == (
+        [(r.key, r.server, r.client, r.service_ms) for r in stats.requests]
+    )
+
+
+# -- TGI shared-frontier k-hop ----------------------------------------------
+
+@pytest.fixture(scope="module")
+def events():
+    return random_history(steps=500, seed=33)
+
+
+def make_tgi(events, **overrides):
+    defaults = dict(
+        events_per_timespan=180,
+        eventlist_size=30,
+        micro_partition_size=12,
+    )
+    defaults.update(overrides)
+    idx = TGI(TGIConfig(**defaults))
+    idx.build(events)
+    return idx
+
+
+@pytest.fixture(scope="module")
+def tgi(events):
+    return make_tgi(events)
+
+
+def _probe_nodes(events, count=40):
+    nodes = sorted({ev.node for ev in events})
+    return nodes[:count]
+
+
+def test_khops_match_per_center_khop(tgi, events):
+    nodes = _probe_nodes(events, 15)
+    batched = tgi.get_khops(nodes, 450, k=2)
+    for node, got in zip(nodes, batched):
+        try:
+            want = tgi.get_khop(node, 450, k=2)
+        except IndexError_:
+            assert got is None
+            continue
+        assert got == want
+
+
+def test_khops_dead_center_is_none(tgi):
+    out = tgi.get_khops([999_999], 450, k=1)
+    assert out == [None]
+    assert tgi.last_fetch_stats.rounds == 0
+
+
+def test_khops_preserve_order_and_duplicates(tgi, events):
+    nodes = _probe_nodes(events, 5)
+    probe = [nodes[3], nodes[0], nodes[3]]
+    out = tgi.get_khops(probe, 450, k=1)
+    assert out[0] == out[2]
+    assert out[0] == tgi.get_khop(probe[0], 450, k=1)
+
+
+def test_khops_rounds_independent_of_center_count(tgi, events):
+    k = 2
+    tgi.get_khops(_probe_nodes(events, 4), 450, k=k)
+    few_rounds = tgi.last_fetch_stats.rounds
+    tgi.get_khops(_probe_nodes(events, 40), 450, k=k)
+    many_rounds = tgi.last_fetch_stats.rounds
+    assert few_rounds <= k + 1 and many_rounds <= k + 1
+
+
+def test_khops_fetch_union_of_per_center_key_sets(tgi, events):
+    nodes = _probe_nodes(events, 10)
+    tgi.get_khops(nodes, 450, k=1)
+    shared_keys = {r.key for r in tgi.last_fetch_stats.requests}
+    union = set()
+    for node in nodes:
+        try:
+            tgi.get_khop(node, 450, k=1)
+        except IndexError_:
+            continue
+        union |= {r.key for r in tgi.last_fetch_stats.requests}
+    assert shared_keys == union
+
+
+def test_khop_dead_node_resets_stats(tgi, events):
+    """A pid-less center must not leave the previous query's stats in
+    ``last_fetch_stats`` (callers fold them after catching the raise)."""
+    tgi.get_snapshot(450)
+    assert tgi.last_fetch_stats.num_requests > 0
+    with pytest.raises(IndexError_):
+        tgi.get_khop(999_999, 450, k=1)
+    assert tgi.last_fetch_stats.num_requests == 0
+
+
+# -- pipelined TAF subgraph path ---------------------------------------------
+
+@pytest.fixture(scope="module")
+def handlers(events):
+    seq = TGIHandler(make_tgi(events), SparkContext(num_workers=2))
+    pipe = TGIHandler(
+        make_tgi(events, pipeline=True), SparkContext(num_workers=2)
+    )
+    return seq, pipe
+
+
+def test_pipelined_subgraphs_match_sequential(handlers, events):
+    seq, pipe = handlers
+    centers = _probe_nodes(events, 10)
+    a = seq.fetch_subgraphs(centers, 2, 100, 450)
+    b = pipe.fetch_subgraphs(centers, 2, 100, 450)
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert x.center == y.center
+        assert {n: nt.history for n, nt in x.members.items()} == (
+            {n: nt.history for n, nt in y.members.items()}
+        )
+        assert x.edge_attrs_initial == y.edge_attrs_initial
+
+
+def test_pipelined_subgraphs_cost_fewer_rounds(handlers, events):
+    seq, pipe = handlers
+    centers = _probe_nodes(events, 10)
+    seq.fetch_subgraphs(centers, 1, 100, 450)
+    seq_stats = seq.last_fetch_stats
+    pipe.fetch_subgraphs(centers, 1, 100, 450)
+    pipe_stats = pipe.last_fetch_stats
+    assert pipe_stats.rounds < seq_stats.rounds
+    assert pipe_stats.requests < seq_stats.requests
+    assert pipe_stats.sim_time_ms < seq_stats.sim_time_ms
+    assert pipe_stats.overlap_saved_ms > 0.0
+
+
+def test_pipelined_warm_cache_hits_identical(events):
+    """With a warm delta cache both modes serve every row locally."""
+    results = []
+    for pipeline in (False, True):
+        tgi = make_tgi(events, pipeline=pipeline,
+                       delta_cache_entries=65536)
+        handler = TGIHandler(tgi, SparkContext(num_workers=2))
+        centers = _probe_nodes(events, 8)
+        handler.fetch_subgraphs(centers, 1, 100, 450)  # warm
+        handler.fetch_subgraphs(centers, 1, 100, 450)
+        results.append(handler.last_fetch_stats)
+    warm_seq, warm_pipe = results
+    assert warm_seq.requests == 0 and warm_pipe.requests == 0
+    assert warm_seq.rounds == 0 and warm_pipe.rounds == 0
+    # the shared frontier looks each row up once; the per-center loop
+    # re-looks-up rows shared between centers, so it can only hit more
+    assert 0 < warm_pipe.cache_hits <= warm_seq.cache_hits
+
+
+def test_subgraph_merges_khop_probe_stats_for_late_center(tgi, events):
+    """Satellite: a center alive in (ts, te] but dead at ts used to drop
+    the k-hop probe's accounting on IndexError_."""
+    ts, te = 100, 450
+    span = tgi._span_at(ts)
+    late = None
+    for node in sorted({ev.node for ev in events}):
+        first = min(ev.time for ev in events if ev.touches(node))
+        if ts < first <= te and span.pid_of(node) is not None:
+            late = node
+            break
+    assert late is not None, "need a center born inside the probed span"
+    handler = TGIHandler(tgi, SparkContext(num_workers=2))
+
+    # expected accounting, mirroring fetch_subgraph's schedule
+    expected = 0
+    histories = tgi.get_node_histories([late], ts, te)
+    expected += tgi.last_fetch_stats.num_requests
+    assert histories[0].initial is None and histories[0].events
+    from repro.taf.handler import _neighbors_over_time
+    from repro.taf.node_t import NodeT
+
+    nbrs = sorted(_neighbors_over_time(NodeT(histories[0])))
+    if nbrs:
+        tgi.get_node_histories(nbrs, ts, te)
+        expected += tgi.last_fetch_stats.num_requests
+    probe_requests = 0
+    with pytest.raises(IndexError_):
+        tgi.get_khop(late, ts, k=1)
+    probe_requests = tgi.last_fetch_stats.num_requests
+    assert probe_requests > 0  # the probe did fetch before discovering
+    expected += probe_requests
+
+    sg = handler.fetch_subgraph(late, 1, ts, te)
+    assert sg is not None
+    assert handler.last_fetch_stats.requests == expected
