@@ -1,0 +1,72 @@
+"""Cost-based k-hop algorithm selection through the session facade.
+
+For every probe center the session prices Algorithm 3 (snapshot-first)
+and Algorithm 4 (targeted micro-delta k-hop) via ``Cluster.plan_records``
+and executes the cheaper plan.  The invariant asserted here (and in CI):
+``auto`` is never slower, in simulated fetch time, than the *worse* of
+the two fixed algorithms — the selector executes one of the fixed plans,
+so mispricing could at most cost the better one, never exceed the worst.
+
+Reported per strategy: store requests, multiget rounds, simulated fetch
+ms, and how often each algorithm was chosen.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.session import GraphSession
+
+from benchmarks.conftest import build_tgi, print_series, probe_nodes
+
+N_CENTERS = 16
+K = 2
+
+ALGOS = ("snapshot-first", "khop", "auto")
+
+
+@pytest.fixture(scope="module", params=[False, True],
+                ids=["random", "replicate-boundary"])
+def setup(request, dataset1_events):
+    tgi = build_tgi(dataset1_events, replicate=request.param)
+    te = dataset1_events[-1].time
+    centers = probe_nodes(dataset1_events, N_CENTERS, seed=31, alive_at=te)
+    return GraphSession.from_index(tgi), centers, te
+
+
+def _run(session, centers, t, algorithm):
+    row = {"algorithm": algorithm, "requests": 0, "rounds": 0,
+           "sim_ms": 0.0, "chosen": {}}
+    for center in centers:
+        result = session.at(t).khop(center, k=K, algorithm=algorithm)
+        stats = result.stats
+        row["requests"] += stats.requests
+        row["rounds"] += stats.rounds
+        row["sim_ms"] += stats.sim_time_ms
+        row["chosen"][stats.algorithm] = (
+            row["chosen"].get(stats.algorithm, 0) + 1
+        )
+    return row
+
+
+def test_auto_never_slower_than_worse_fixed(setup):
+    session, centers, te = setup
+    rows = [_run(session, centers, te, algo) for algo in ALGOS]
+    by_algo = {row["algorithm"]: row for row in rows}
+
+    print_series(
+        f"session k-hop selection ({N_CENTERS} centers, k={K})",
+        f"{'algorithm':<16} {'requests':>9} {'rounds':>7} "
+        f"{'sim_ms':>10}  chosen",
+        [
+            f"{row['algorithm']:<16} {row['requests']:>9} "
+            f"{row['rounds']:>7} {row['sim_ms']:>10.1f}  {row['chosen']}"
+            for row in rows
+        ],
+    )
+
+    worse_fixed = max(by_algo["snapshot-first"]["sim_ms"],
+                      by_algo["khop"]["sim_ms"])
+    assert by_algo["auto"]["sim_ms"] <= worse_fixed + 1e-6
+    # auto must execute real selections, not a constant fallback
+    assert sum(by_algo["auto"]["chosen"].values()) == len(centers)

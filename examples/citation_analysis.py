@@ -1,18 +1,16 @@
 """Citation-network analytics: version queries and incremental computation
 (the paper's "How many citations did I have in 2012?" and Fig. 8 label
-counting).
+counting), driven through the `GraphSession` facade.
 
 Run with::
 
     python examples/citation_analysis.py
 """
 
-from repro import TGI, TGIConfig
+from repro import GraphSession, TGI, TGIConfig
 from repro.graph.events import EventKind
 from repro.graph.metrics import NodeMetrics
 from repro.spark.rdd import SparkContext
-from repro.taf.handler import TGIHandler
-from repro.taf.son import SON, SOTS
 from repro.workloads.citation import CitationConfig, generate_citation_events
 
 
@@ -29,17 +27,19 @@ def main() -> None:
         )
     )
     tgi.build(events)
-    handler = TGIHandler(tgi, SparkContext(num_workers=2))
+    session = GraphSession.from_index(
+        tgi, spark_context=SparkContext(num_workers=2)
+    )
 
     # --- "How many citations did I have at time T?" -------------------------
     paper_id = 17
     for t in (t_end // 4, t_end // 2, t_end):
-        state = tgi.get_node_state(paper_id, t)
+        state = session.at(t).node_state(paper_id).value
         count = len(state.E) if state else 0
         print(f"citations of paper {paper_id} at t={t}: {count}")
 
     # --- degree evolution for the earliest papers, computed incrementally ---
-    son = SON(handler).Select("id < 10").Timeslice(1, t_end).fetch()
+    son = session.nodes("id < 10").timeslice(1, t_end).fetch()
 
     def degree(state):
         return len(state.E) if state else 0
@@ -58,7 +58,7 @@ def main() -> None:
         print(f"  paper {nid}: {s[0][1]} -> {s[-1][1]} over {len(s)} changes")
 
     # --- local clustering in 1-hop neighborhoods at the end of history ------
-    sots = SOTS(k=1, handler=handler).Timeslice(t_end).fetch(
+    sots = session.subgraphs(k=1).Timeslice(t_end).fetch(
         centers=list(range(10))
     )
     lcc = sots.NodeCompute(NodeMetrics.LCC)
@@ -68,14 +68,15 @@ def main() -> None:
 
     # --- who were paper 17's most co-cited contacts before mid-history? -----
     mid = t_end // 2
-    hood = tgi.get_khop(paper_id, mid, k=1)
+    result = session.at(mid).khop(paper_id, k=1)
+    hood = result.value
     ranked = sorted(
         (n for n in hood.nodes() if n != paper_id),
         key=hood.degree,
         reverse=True,
     )
     print(f"\npaper {paper_id}'s neighbors at t={mid}, by degree: "
-          f"{ranked[:5]}")
+          f"{ranked[:5]} (fetched via {result.stats.algorithm})")
 
 
 if __name__ == "__main__":

@@ -6,11 +6,9 @@ Run with::
     python examples/community_evolution.py
 """
 
-from repro import TGI, TGIConfig
+from repro import GraphSession, TGI, TGIConfig
 from repro.graph.metrics import GraphMetrics
-from repro.spark.rdd import SparkContext
 from repro.taf.aggregation import TempAggregation
-from repro.taf.handler import TGIHandler
 from repro.taf.son import SON
 from repro.taf import timepoints
 from repro.workloads.social import SocialConfig, generate_social_events
@@ -32,14 +30,14 @@ def main() -> None:
         )
     )
     tgi.build(events)
-    handler = TGIHandler(tgi, SparkContext(num_workers=3))
+    session = GraphSession.from_index(tgi, workers=3)
 
     # fetch the full year of temporal nodes, keeping only the community label
-    son = SON(handler).Timeslice(1, t_end).Filter("community").fetch()
+    son = session.nodes().timeslice(1, t_end).Filter("community").fetch()
     print(
         f"fetched {len(son)} temporal nodes "
-        f"({handler.last_fetch_stats.requests} store requests, "
-        f"simulated {handler.last_fetch_stats.sim_time_ms:.0f} ms)"
+        f"({son.fetch_stats.requests} store requests, "
+        f"simulated {son.fetch_stats.sim_time_ms:.0f} ms)"
     )
 
     # --- compare community sizes over time (paper Fig. 7b) ---------------

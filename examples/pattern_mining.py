@@ -9,10 +9,8 @@ Run with::
 
 import time
 
-from repro import TGI, TGIConfig
+from repro import GraphSession, TGI, TGIConfig
 from repro.graph.metrics import triangle_count
-from repro.spark.rdd import SparkContext
-from repro.taf.handler import TGIHandler
 from repro.taf.patterns import (
     LabeledEdgeCounter,
     TriangleCounter,
@@ -20,7 +18,6 @@ from repro.taf.patterns import (
     brute_force_count,
     count_over_time,
 )
-from repro.taf.son import SOTS
 from repro.workloads.social import SocialConfig, generate_social_events
 
 
@@ -32,9 +29,9 @@ def main() -> None:
     tgi = TGI(TGIConfig(events_per_timespan=1200, eventlist_size=150,
                         micro_partition_size=25))
     tgi.build(events)
-    handler = TGIHandler(tgi, SparkContext(num_workers=2))
+    session = GraphSession.from_index(tgi)
 
-    sots = SOTS(k=2, handler=handler).Timeslice(1, t_end).fetch(
+    sots = session.subgraphs(k=2).Timeslice(1, t_end).fetch(
         centers=[0, 5, 10]
     )
 

@@ -1,11 +1,12 @@
-"""Quickstart: build a Temporal Graph Index and run every retrieval primitive.
+"""Quickstart: build a Temporal Graph Index and query it through the
+unified `GraphSession` facade.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro import TGI, TGIConfig
+from repro import GraphSession, TGI, TGIConfig
 from repro.graph.static import Graph
 from repro.workloads.citation import CitationConfig, generate_citation_events
 
@@ -33,36 +34,54 @@ def main() -> None:
         f"{tgi.cluster.stored_bytes // 1024} KiB"
     )
 
-    # 3. Snapshot retrieval: the whole graph as of any past time point.
-    mid = t_end // 2
-    g_mid = tgi.get_snapshot(mid, clients=4)
-    print(f"\nsnapshot at t={mid}: {g_mid}")
-    print(
-        f"  fetched {tgi.last_fetch_stats.num_requests} micro-deltas, "
-        f"simulated latency {tgi.last_fetch_stats.sim_time_ms:.1f} ms"
-    )
-    assert g_mid == Graph.replay(events, until=mid)  # always exact
+    # 3. One session owns the cluster, planner, handler and cache; every
+    #    query returns its payload plus one consolidated stats object.
+    #    (For an index stored with `save_index`/`hgs build`, use
+    #    `open_graph(path)` instead — sessions over the same file share a
+    #    process-wide delta cache.)
+    session = GraphSession.from_index(tgi)
 
-    # 4. Node history: one node's evolution over an interval.
+    # 4. Snapshot retrieval: the whole graph as of any past time point.
+    mid = t_end // 2
+    snap = session.at(mid).snapshot(clients=4)
+    print(f"\nsnapshot at t={mid}: {snap.value}")
+    print(
+        f"  fetched {snap.stats.requests} micro-deltas in "
+        f"{snap.stats.rounds} round(s), simulated latency "
+        f"{snap.stats.sim_time_ms:.1f} ms "
+        f"(predicted {snap.stats.predicted_ms:.1f} ms)"
+    )
+    assert snap.value == Graph.replay(events, until=mid)  # always exact
+
+    # 5. Node history: one node's evolution over an interval.
     node = 5
-    history = tgi.get_node_history(node, mid, t_end)
+    hist = session.between(mid, t_end).node_history(node)
     print(f"\nnode {node} history over [{mid}, {t_end}]:")
-    print(f"  {history.num_versions} versions, {len(history.events)} events")
-    state = history.state_at(t_end)
+    print(f"  {hist.value.num_versions} versions, "
+          f"{len(hist.value.events)} events")
+    state = hist.value.state_at(t_end)
     if state is not None:
         print(f"  final degree: {len(state.E)}")
 
-    # 5. k-hop neighborhood at a past time point (targeted fetch).
-    hood = tgi.get_khop(node, t_end, k=2)
-    print(f"\n2-hop neighborhood of {node} at t={t_end}: {hood}")
-    print(f"  fetched {tgi.last_fetch_stats.num_requests} micro-deltas")
+    # 6. k-hop neighborhood with cost-based algorithm selection: the
+    #    session prices Algorithm 3 (snapshot-first) against Algorithm 4
+    #    (targeted micro-delta expansion) and runs the cheaper plan.
+    hood = session.at(t_end).khop(node, k=2)
+    print(f"\n2-hop neighborhood of {node} at t={t_end}: {hood.value}")
+    print(f"  chose {hood.stats.algorithm} "
+          f"(candidates: " + ", ".join(
+              f"{name}={ms:.1f}ms"
+              for name, ms in sorted(hood.stats.candidates.items())
+          ) + ")")
+    print(f"  predicted {hood.stats.predicted_ms:.1f} ms, "
+          f"actual {hood.stats.actual_ms:.1f} ms")
 
-    # 6. Neighborhood evolution (Algorithm 5).
-    evolution = tgi.get_khop_history(node, mid, t_end)
+    # 7. Neighborhood evolution (Algorithm 5).
+    evolution = session.between(mid, t_end).khop_history(node)
     print(
         f"\n1-hop evolution of {node}: center has "
-        f"{evolution.center.num_versions} versions, "
-        f"{len(evolution.neighbors)} neighbor histories fetched"
+        f"{evolution.value.center.num_versions} versions, "
+        f"{len(evolution.value.neighbors)} neighbor histories fetched"
     )
 
 

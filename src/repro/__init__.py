@@ -14,7 +14,14 @@ Quickstart::
     index = TGI(TGIConfig(events_per_timespan=100, eventlist_size=10,
                           micro_partition_size=10))
     index.build(events)
-    g = index.get_snapshot(2)
+
+    session = index.session()           # the unified query facade
+    g = session.at(2).snapshot().value
+
+For stored indexes, ``open_graph(path)`` loads and wires everything —
+including the process-wide cache shared between sessions over the same
+file.  Direct ``TGI.get_*`` / ``TGIHandler`` calls remain supported as
+the internal layer.
 """
 
 from repro.graph.events import Event, EventBuilder, EventKind
@@ -36,8 +43,10 @@ from repro.io import read_events, write_events
 from repro.storage import load_index, save_index
 from repro.kvstore.cluster import Cluster, ClusterConfig
 from repro.kvstore.cost import CostModel, FetchStats
+from repro.api import QueryRequest, QueryResult, QueryStats
+from repro.session import GraphSession, open_graph
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Event",
@@ -68,4 +77,9 @@ __all__ = [
     "ClusterConfig",
     "CostModel",
     "FetchStats",
+    "GraphSession",
+    "open_graph",
+    "QueryRequest",
+    "QueryResult",
+    "QueryStats",
 ]

@@ -1,0 +1,48 @@
+"""Public request/result types of the unified query facade.
+
+The paper splits the system into a historical graph store (TGI, Sec. 4)
+and an analytics layer (TAF, Sec. 5); :class:`~repro.session.GraphSession`
+is the one front door over both.  This package holds the *data* side of
+that API:
+
+- :class:`~repro.api.request.QueryRequest` — a compiled, declarative
+  description of one retrieval (what, when, with which algorithm policy).
+  Builder terminals (``session.at(t).khop(...)``) compile to requests;
+  requests are what the session prices, executes, and EXPLAINs.
+- :class:`~repro.api.result.QueryStats` — the consolidated fetch
+  accounting every query returns: requests, rounds, bytes, simulated
+  latency, overlap savings, cache counters, plus the chosen plan and its
+  predicted vs. actual cost.  It normalizes the store-side
+  :class:`~repro.kvstore.cost.FetchStats` and the TAF-side
+  :class:`~repro.taf.handler.ParallelFetchStats` into one shape.
+- :class:`~repro.api.result.QueryResult` — payload + stats + the request
+  that produced them.
+
+Algorithm names (:data:`~repro.api.request.ALGORITHMS`) follow the paper:
+``snapshot-first`` is Algorithm 3 (fetch the snapshot, filter),
+``khop`` is Algorithm 4 (targeted micro-delta expansion; shared-frontier
+when a query has several centers), ``khop-per-center`` forces the
+per-center Algorithm-4 loop, and ``auto`` lets the session pick whichever
+``Cluster.plan_records`` prices cheapest.
+"""
+
+from repro.api.request import (
+    ALGO_AUTO,
+    ALGO_KHOP,
+    ALGO_PER_CENTER,
+    ALGO_SNAPSHOT_FIRST,
+    ALGORITHMS,
+    QueryRequest,
+)
+from repro.api.result import QueryResult, QueryStats
+
+__all__ = [
+    "ALGO_AUTO",
+    "ALGO_KHOP",
+    "ALGO_PER_CENTER",
+    "ALGO_SNAPSHOT_FIRST",
+    "ALGORITHMS",
+    "QueryRequest",
+    "QueryResult",
+    "QueryStats",
+]

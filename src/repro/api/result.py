@@ -1,0 +1,129 @@
+"""Uniform query results: payload + one consolidated stats object.
+
+Before the session facade, three divergent accounting shapes leaked to
+callers: raw :class:`~repro.kvstore.cost.FetchStats` from the index,
+:class:`~repro.taf.handler.ParallelFetchStats` from the TAF handler, and
+the ad-hoc dict the CLI assembled in ``_fetch_summary``.
+:class:`QueryStats` normalizes all of them — and adds what none carried:
+which plan the session chose and what the cost model predicted for it
+versus what the execution actually cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.api.request import QueryRequest
+
+
+@dataclass
+class QueryStats:
+    """Consolidated fetch accounting for one executed query.
+
+    Attributes:
+        requests: store requests issued (cache hits excluded).
+        rounds: multiget rounds.
+        bytes_read: stored bytes moved off the simulated wire.
+        sim_time_ms: simulated completion time of the fetch.
+        overlap_saved_ms: simulated time won by pipelined overlap.
+        cache_hits / cache_misses / cache_bytes_saved: delta-cache
+            outcomes (0 when the session runs uncached).
+        algorithm: the plan the session executed (e.g. ``snapshot-first``).
+        predicted_ms: the cost model's estimate for the chosen plan,
+            priced via ``Cluster.plan_records`` before fetching.
+        candidates: every candidate plan's predicted cost, so callers can
+            see the margin the choice was made on.
+    """
+
+    requests: int = 0
+    rounds: int = 0
+    bytes_read: int = 0
+    sim_time_ms: float = 0.0
+    overlap_saved_ms: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_saved: int = 0
+    algorithm: Optional[str] = None
+    predicted_ms: Optional[float] = None
+    candidates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def actual_ms(self) -> float:
+        """The executed plan's simulated cost (alias of ``sim_time_ms``)."""
+        return self.sim_time_ms
+
+    @classmethod
+    def from_fetch(
+        cls,
+        stats: Any,
+        algorithm: Optional[str] = None,
+        predicted_ms: Optional[float] = None,
+        candidates: Optional[Dict[str, float]] = None,
+    ) -> "QueryStats":
+        """Normalize a ``FetchStats`` or ``ParallelFetchStats``.
+
+        The two shapes disagree on ``requests`` (record list vs. counter);
+        everything else is read by attribute name with 0 defaults, so any
+        future stats carrier only needs to speak the same field names.
+        """
+        requests = getattr(stats, "num_requests", None)
+        if requests is None:
+            requests = getattr(stats, "requests", 0)
+        return cls(
+            requests=requests,
+            rounds=getattr(stats, "rounds", 0),
+            bytes_read=getattr(stats, "bytes_read", 0),
+            sim_time_ms=getattr(stats, "sim_time_ms", 0.0),
+            overlap_saved_ms=getattr(stats, "overlap_saved_ms", 0.0),
+            cache_hits=getattr(stats, "cache_hits", 0),
+            cache_misses=getattr(stats, "cache_misses", 0),
+            cache_bytes_saved=getattr(stats, "cache_bytes_saved", 0),
+            algorithm=algorithm,
+            predicted_ms=predicted_ms,
+            candidates=dict(candidates or {}),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary, keeping the CLI's historical key names
+        (``deltas_fetched``, ``rounds``, ``sim_time_ms``, ``cache``) and
+        adding the plan-selection fields when a choice was made."""
+        out: Dict[str, Any] = {
+            "deltas_fetched": self.requests,
+            "rounds": self.rounds,
+            "sim_time_ms": round(self.sim_time_ms, 2),
+        }
+        if self.overlap_saved_ms:
+            out["overlap_saved_ms"] = round(self.overlap_saved_ms, 2)
+        if self.cache_hits or self.cache_misses:
+            out["cache"] = {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "bytes_saved": self.cache_bytes_saved,
+            }
+        if self.algorithm is not None:
+            out["algorithm"] = self.algorithm
+            out["actual_ms"] = round(self.actual_ms, 2)
+            if self.predicted_ms is not None:
+                out["predicted_ms"] = round(self.predicted_ms, 2)
+        if self.candidates:
+            out["candidates"] = {
+                name: round(ms, 2) for name, ms in self.candidates.items()
+            }
+        return out
+
+
+@dataclass
+class QueryResult:
+    """Payload plus accounting for one executed :class:`QueryRequest`."""
+
+    request: QueryRequest
+    value: Any
+    stats: QueryStats
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryResult {self.request.describe()} "
+            f"requests={self.stats.requests} "
+            f"sim={self.stats.sim_time_ms:.2f}ms>"
+        )

@@ -17,13 +17,16 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
+from repro.api import ALGO_AUTO, ALGO_KHOP, ALGO_SNAPSHOT_FIRST, QueryRequest, QueryStats
 from repro.graph.static import Graph
 from repro.index.tgi import TGI, PartitioningStrategy, TGIConfig
 from repro.io import read_events, write_events
 from repro.kvstore.cluster import ClusterConfig
+from repro.session import GraphSession
 from repro.storage import load_index, save_index
 from repro.workloads.citation import CitationConfig, generate_citation_events
 from repro.workloads.friendster import (
@@ -77,6 +80,13 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--explain", action="store_true",
                        help="print the retrieval plan and its cost "
                        "estimate without executing the fetch")
+    query.add_argument("--algorithm",
+                       choices=[ALGO_AUTO, ALGO_SNAPSHOT_FIRST, ALGO_KHOP],
+                       default=ALGO_AUTO,
+                       help="k-hop retrieval algorithm: snapshot-first "
+                       "(Algorithm 3), khop (targeted Algorithm 4), or "
+                       "auto (cost-based selection via plan pricing; "
+                       "predicted and actual cost appear in the JSON)")
     qsub = query.add_subparsers(dest="query_kind", required=True)
 
     qsnap = qsub.add_parser("snapshot", help="graph as of a time point")
@@ -154,104 +164,83 @@ def _graph_summary(g: Graph) -> dict:
     return {"nodes": g.num_nodes, "edges": g.num_edges}
 
 
-def _fetch_summary(stats) -> dict:
-    """Fetch accounting shared by every query subcommand."""
-    out = {
-        "deltas_fetched": stats.num_requests,
-        "rounds": stats.rounds,
-        "sim_time_ms": round(stats.sim_time_ms, 2),
-    }
-    if getattr(stats, "overlap_saved_ms", 0.0):
-        out["overlap_saved_ms"] = round(stats.overlap_saved_ms, 2)
-    if stats.cache_hits or stats.cache_misses:
-        out["cache"] = {
-            "hits": stats.cache_hits,
-            "misses": stats.cache_misses,
-            "bytes_saved": stats.cache_bytes_saved,
-        }
-    return out
-
-
-def _cmd_explain(index, args: argparse.Namespace) -> int:
-    """EXPLAIN a query: print its retrieval plan (via the TGI planner) and
-    the cost-model estimate of the fetch, without reading any data."""
-    from repro.index.tgi import TGI, TGIPlanner
-    from repro.kvstore.cost import ExecutionTimeline, simulate_plan
-
-    if not isinstance(index, TGI):
-        print(f"--explain supports TGI indexes (got {type(index).__name__})")
-        return 1
-    planner = TGIPlanner(index)
+def _request_for(args: argparse.Namespace) -> QueryRequest:
+    """Compile the query subcommand's arguments into a session request."""
     if args.query_kind == "snapshot":
-        plan = planner.plan_snapshot(args.time)
-        clients = args.clients
-    elif args.query_kind == "node":
-        plan = planner.plan_node_history(args.node, args.ts, args.te)
-        clients = 1
-    else:
-        plan = planner.plan_khop(args.node, args.time, k=args.k)
-        clients = 1
-    print(plan.explain())
-    records = index.cluster.plan_records(plan.all_keys(), clients=clients)
-    est = simulate_plan(records, index.cluster.config.cost_model)
-    print(f"estimate: {len(records)} requests, "
-          f"~{est:.2f} sim-ms as one sequential round")
-    if index.config.pipeline:
-        # timeline estimate: group the plan's steps into the multiget
-        # rounds the executor would actually issue (chained steps depend
-        # on data from the first round, so they form a second round) —
-        # overlap accrues only across concurrent plans, not within one
-        # query's dependency chain
-        first_round: list = []
-        chained_round: list = []
-        for step in plan.steps:
-            target = chained_round if step.chained else first_round
-            target.extend(step.keys)
-        timeline = ExecutionTimeline(index.cluster.config.cost_model)
-        at = 0.0
-        for keys in (first_round, chained_round):
-            if not keys:
-                continue
-            timing = timeline.submit(
-                index.cluster.plan_records(keys, clients=clients), at=at
-            )
-            at = timing.completed_ms
-        print(timeline.describe())
-    return 0
+        return QueryRequest(kind="snapshot", t=args.time,
+                            clients=args.clients)
+    if args.query_kind == "node":
+        return QueryRequest(kind="node_histories", ts=args.ts, te=args.te,
+                            nodes=(args.node,), single=True)
+    return QueryRequest(kind="khop", t=args.time, nodes=(args.node,),
+                        k=args.k, algorithm=args.algorithm, single=True)
+
+
+def _versions_summary(history) -> list:
+    return [
+        {"t": t, "alive": s is not None,
+         "degree": len(s.E) if s else 0,
+         "attrs": s.attrs if s else None}
+        for t, s in history.versions()
+    ]
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
+    if not isinstance(index, TGI):
+        return _cmd_query_legacy(index, args)
+    session = GraphSession.from_index(
+        index, index_id=str(Path(args.index).expanduser().resolve())
+    )
+    request = _request_for(args)
     if args.explain:
-        return _cmd_explain(index, args)
+        print(session.explain(request))
+        return 0
+    result = session.execute(request)
+    stats = result.stats.as_dict()
     if args.query_kind == "snapshot":
-        g = index.get_snapshot(args.time, clients=args.clients)
         print(json.dumps({
-            "snapshot": _graph_summary(g),
-            **_fetch_summary(index.last_fetch_stats),
+            "snapshot": _graph_summary(result.value), **stats,
         }, indent=2))
     elif args.query_kind == "node":
-        h = index.get_node_history(args.node, args.ts, args.te)
-        versions = [
-            {"t": t, "alive": s is not None,
-             "degree": len(s.E) if s else 0,
-             "attrs": s.attrs if s else None}
-            for t, s in h.versions()
-        ]
         print(json.dumps({
             "node": args.node,
-            "versions": versions,
-            **_fetch_summary(index.last_fetch_stats),
+            "versions": _versions_summary(result.value),
+            **stats,
         }, indent=2))
     else:
-        g = index.get_khop(args.node, args.time, k=args.k)
         print(json.dumps({
+            "center": args.node,
+            "k": args.k,
+            "neighborhood": _graph_summary(result.value),
+            "members": sorted(result.value.nodes()),
+            **stats,
+        }, indent=2))
+    return 0
+
+
+def _cmd_query_legacy(index, args: argparse.Namespace) -> int:
+    """Baseline index families queried via the bare interface (no
+    planner, so no EXPLAIN or algorithm selection)."""
+    if args.explain:
+        print(f"--explain supports TGI indexes (got {type(index).__name__})")
+        return 1
+    if args.query_kind == "snapshot":
+        g = index.get_snapshot(args.time, clients=args.clients)
+        payload = {"snapshot": _graph_summary(g)}
+    elif args.query_kind == "node":
+        h = index.get_node_history(args.node, args.ts, args.te)
+        payload = {"node": args.node, "versions": _versions_summary(h)}
+    else:
+        g = index.get_khop(args.node, args.time, k=args.k)
+        payload = {
             "center": args.node,
             "k": args.k,
             "neighborhood": _graph_summary(g),
             "members": sorted(g.nodes()),
-            **_fetch_summary(index.last_fetch_stats),
-        }, indent=2))
+        }
+    payload.update(QueryStats.from_fetch(index.last_fetch_stats).as_dict())
+    print(json.dumps(payload, indent=2))
     return 0
 
 

@@ -36,7 +36,11 @@ leaving each index method to hand-assemble key lists and call
   a span's root snapshot partitions — stop re-reading identical rows.
   Hits, misses and bytes saved surface in ``FetchStats``.  Caching is
   off by default (``TGIConfig.delta_cache_entries = 0``) so cost-model
-  accounting reproduces the uncached fetch counts exactly.
+  accounting reproduces the uncached fetch counts exactly.  The
+  process-wide :data:`~repro.exec.cache.shared_caches`
+  :class:`~repro.exec.cache.CacheRegistry` lets every consumer of the
+  same stored index (sessions, TAF handlers, CLI queries) share one
+  cache, keyed ``(index id, DeltaKey)``.
 
 Layering: this package knows nothing about TGI's key layout or delta
 algebra — it moves opaque composite keys and decoded values.  Index
@@ -44,13 +48,20 @@ implementations (``repro.index.tgi``) build the plans; the TAF handler
 batches whole node populations through them.
 """
 
-from repro.exec.cache import CacheStats, DeltaCache
+from repro.exec.cache import (
+    CacheRegistry,
+    CacheStats,
+    DeltaCache,
+    shared_caches,
+)
 from repro.exec.executor import PipelineResult, PlanExecutor, PlanResult
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, StageFactory
 
 __all__ = [
+    "CacheRegistry",
     "CacheStats",
     "DeltaCache",
+    "shared_caches",
     "FetchPlan",
     "FetchStage",
     "KeyGroup",

@@ -1,17 +1,23 @@
-"""Bounded LRU cache over decoded store rows.
+"""Bounded LRU cache over decoded store rows + the process-wide registry.
 
 TGI rows are immutable once written (timespans are append-only; the only
 rewritten rows are version chains, which the index invalidates on batch
 update), so a decoded row can be reused across fetch plans without
 re-reading or re-deserializing it.  The cache tracks the *stored* size of
 every entry so the executor can report bytes saved in the fetch stats.
+
+:class:`CacheRegistry` extends reuse across *consumers*: every session,
+TAF handler, or CLI query over the same stored index can share one
+:class:`DeltaCache` by agreeing on an index id (for on-disk indexes, the
+resolved file path).  Rows inside each cache are keyed by delta key, so
+the effective registry key is ``(index id, DeltaKey)``.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 KeyTuple = Tuple
 
@@ -111,3 +117,46 @@ class DeltaCache:
             f"<DeltaCache {s.entries}/{s.max_entries} entries "
             f"hits={s.hits} misses={s.misses} evictions={s.evictions}>"
         )
+
+
+class CacheRegistry:
+    """Process-wide pool of :class:`DeltaCache` objects keyed by index id.
+
+    The first consumer to ask for an index id creates the cache (with its
+    requested capacity); later consumers get the same object back — warm
+    rows and all — regardless of the capacity they ask for, so one stored
+    index never fragments into per-session caches.
+    """
+
+    def __init__(self) -> None:
+        self._caches: Dict[str, DeltaCache] = {}
+
+    def get(self, index_id: str, max_entries: int) -> DeltaCache:
+        """The shared cache for ``index_id``, created on first use."""
+        cache = self._caches.get(index_id)
+        if cache is None:
+            cache = DeltaCache(max_entries)
+            self._caches[index_id] = cache
+        return cache
+
+    def peek(self, index_id: str) -> Optional[DeltaCache]:
+        """The shared cache for ``index_id`` if one exists (no creation)."""
+        return self._caches.get(index_id)
+
+    def drop(self, index_id: str) -> None:
+        """Forget one index's shared cache (e.g. the index was rebuilt)."""
+        self._caches.pop(index_id, None)
+
+    def clear(self) -> None:
+        """Forget every shared cache (used by tests and benchmarks)."""
+        self._caches.clear()
+
+    def __len__(self) -> int:
+        return len(self._caches)
+
+    def __contains__(self, index_id: str) -> bool:
+        return index_id in self._caches
+
+
+#: The process-wide registry `GraphSession` shares warm rows through.
+shared_caches = CacheRegistry()

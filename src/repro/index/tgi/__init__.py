@@ -3,7 +3,12 @@
 from repro.index.tgi.config import PartitioningStrategy, TGIConfig
 from repro.index.tgi.costs import WorkloadShape, storage_sizes, table1, tree_height
 from repro.index.tgi.index import TGI
-from repro.index.tgi.planner import PlanStep, QueryPlan, TGIPlanner
+from repro.index.tgi.planner import (
+    PlanStep,
+    QueryPlan,
+    TGIPlanner,
+    price_plan,
+)
 from repro.index.tgi.layout import TimespanInfo, delta_key, version_chain_key
 from repro.index.tgi.version_chain import VersionChainStore, VersionPointer
 
@@ -13,6 +18,7 @@ __all__ = [
     "TGIPlanner",
     "QueryPlan",
     "PlanStep",
+    "price_plan",
     "PartitioningStrategy",
     "TimespanInfo",
     "delta_key",

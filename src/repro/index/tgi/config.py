@@ -49,9 +49,10 @@ class TGIConfig:
         pipeline: overlap independent fetch plans on a shared execution
             timeline (modeling Cassandra's async client drivers) and let
             the TAF handler drive whole analytics chunks through the
-            shared-frontier batched paths.  Off by default so fetch
-            accounting reproduces the strictly sequential per-center
-            schedule exactly.
+            batched paths — the shared-frontier SoTS fetch and the
+            one-``execute_many`` SoN history fetch.  Off by default so
+            fetch accounting reproduces the strictly sequential
+            per-center schedule exactly.
         cluster: shape of the backing key-value cluster (``m``, ``r``,
             compression, cost model).
     """

@@ -145,6 +145,15 @@ class TGI(HistoricalGraphIndex):
     def num_timespans(self) -> int:
         return len(self._spans)
 
+    def session(self, **kwargs):
+        """Open a :class:`~repro.session.GraphSession` facade over this
+        index — the preferred query API (cost-based plan selection,
+        shared caching, uniform stats).  Direct ``get_*`` calls remain
+        supported as the internal layer."""
+        from repro.session import GraphSession
+
+        return GraphSession.from_index(self, **kwargs)
+
     # ------------------------------------------------------------------
     # snapshot retrieval (Algorithm 1)
     # ------------------------------------------------------------------

@@ -15,10 +15,11 @@ expensive, exactly like a relational EXPLAIN.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import IndexError_
 from repro.index.tgi.layout import DeltaKey, version_chain_key
+from repro.kvstore.cost import simulate_plan
 from repro.types import NodeId, TimePoint
 
 
@@ -72,6 +73,23 @@ class QueryPlan:
         return "\n".join(lines)
 
 
+def price_plan(cluster, plan: Union[QueryPlan, Sequence[DeltaKey]],
+               clients: int = 1) -> float:
+    """Cost-model estimate (sim-ms) of fetching a plan's keys in one
+    sequential round, without reading any data.
+
+    This is the store-side half of an EXPLAIN — ``Cluster.plan_records``
+    routes and prices every key exactly as ``multiget`` would, and
+    :func:`~repro.kvstore.cost.simulate_plan` applies the two-sided
+    client/server bound.  Plans whose chained steps force extra rounds are
+    priced slightly low (round boundaries don't change total service
+    time, only add latency), which is fine for *comparing* candidates.
+    """
+    keys = plan.all_keys() if isinstance(plan, QueryPlan) else list(plan)
+    records = cluster.plan_records(keys, clients=clients)
+    return simulate_plan(records, cluster.config.cost_model)
+
+
 class TGIPlanner:
     """Builds :class:`QueryPlan` objects against a built :class:`TGI`."""
 
@@ -119,6 +137,39 @@ class TGIPlanner:
             keys = self.tgi._vc.pointers_in_range(tuple(chain), ts, te)
             plan.steps.append(PlanStep("version-pointed eventlists",
                                        tuple(keys), chained=True))
+        return plan
+
+    def plan_node_histories(
+        self, nodes: Sequence[NodeId], ts: TimePoint, te: TimePoint
+    ) -> QueryPlan:
+        """Plan the batched Algorithm 2
+        (:meth:`~repro.index.tgi.index.TGI.get_node_histories`): the
+        deduplicated union of every node's plan — nodes sharing a
+        micro-partition or chain row contribute its keys once, which is
+        exactly what the batched fetch reads."""
+        plan = QueryPlan(
+            query=f"node_histories({len(nodes)} nodes, ts={ts}, te={te})"
+        )
+        merged: Dict[Tuple[str, bool], List[DeltaKey]] = {}
+        order: List[Tuple[str, bool]] = []
+        seen: Set[DeltaKey] = set()
+        for node in dict.fromkeys(nodes):
+            sub = self.plan_node_history(node, ts, te)
+            for step in sub.steps:
+                bucket_id = (step.purpose, step.chained)
+                if bucket_id not in merged:
+                    merged[bucket_id] = []
+                    order.append(bucket_id)
+                bucket = merged[bucket_id]
+                for key in step.keys:
+                    if key not in seen:
+                        seen.add(key)
+                        bucket.append(key)
+        for purpose, chained in order:
+            plan.steps.append(
+                PlanStep(purpose, tuple(merged[(purpose, chained)]),
+                         chained=chained)
+            )
         return plan
 
     def plan_khop(self, node: NodeId, t: TimePoint, k: int = 1) -> QueryPlan:
@@ -170,4 +221,37 @@ class TGIPlanner:
             )
         )
         plan.steps.append(PlanStep("partition eventlists", tuple(ekeys)))
+        return plan
+
+    def plan_khops(
+        self, centers: Sequence[NodeId], t: TimePoint, k: int = 1
+    ) -> QueryPlan:
+        """Plan the shared-frontier batched k-hop
+        (:meth:`~repro.index.tgi.index.TGI.get_khops`).
+
+        The bound is the deduplicated union of every alive center's
+        Algorithm-4 bound: partitions shared between neighborhoods appear
+        once, which is exactly the saving the shared frontier realizes at
+        fetch time.  Centers unknown in the timespan contribute nothing;
+        if *no* center is alive the plan is empty rather than an error
+        (``get_khops`` returns ``None`` per dead center).
+        """
+        plan = QueryPlan(
+            query=f"khops({len(centers)} centers, t={t}, k={k})"
+        )
+        merged: Dict[str, List[DeltaKey]] = {}
+        seen: Set[DeltaKey] = set()
+        for center in dict.fromkeys(centers):
+            try:
+                sub = self.plan_khop(center, t, k=k)
+            except IndexError_:
+                continue
+            for step in sub.steps:
+                bucket = merged.setdefault(step.purpose, [])
+                for key in step.keys:
+                    if key not in seen:
+                        seen.add(key)
+                        bucket.append(key)
+        for purpose, keys in merged.items():
+            plan.steps.append(PlanStep(purpose, tuple(keys)))
         return plan

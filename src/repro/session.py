@@ -1,0 +1,617 @@
+"""`GraphSession`: the unified query facade over store + analytics.
+
+The paper separates the historical graph store (TGI, Sec. 4) from the
+analytics layer (TAF, Sec. 5); before this module, using both meant
+hand-wiring four entry points — ``TGI.get_*``, ``TGIHandler.fetch_*``,
+``SON``/``SOTS``, and the CLI's own plumbing — and nobody exploited the
+planner.  A session owns all of it:
+
+- the :class:`~repro.index.tgi.index.TGI` (cluster, executor, planner),
+- a :class:`~repro.taf.handler.TGIHandler` + Spark context for the TAF
+  operand paths,
+- a slot in the **process-wide cache registry**
+  (:data:`repro.exec.shared_caches`, keyed ``(index id, DeltaKey)``), so
+  every session opened over the same stored index shares warm rows,
+
+and exposes one fluent, lazily-planned query builder::
+
+    session = open_graph("wiki.hgs")
+    g       = session.at(900).snapshot().value
+    hood    = session.at(900).khop(17, k=2)          # cost-based Alg 3 vs 4
+    hist    = session.between(100, 900).node_histories([3, 5, 8])
+    son     = session.nodes("id < 100").timeslice(100, 900).fetch()
+
+Builder terminals compile to a :class:`~repro.api.QueryRequest`, price the
+candidate plans via :class:`~repro.index.tgi.planner.TGIPlanner` +
+``Cluster.plan_records`` (Algorithm 3 snapshot-first vs Algorithm 4
+micro-delta k-hop; per-center vs shared-frontier batching), execute the
+cheapest, and return a :class:`~repro.api.QueryResult` whose
+:class:`~repro.api.QueryStats` carries the chosen plan and its predicted
+vs. actual cost.  ``SON``/``SOTS`` come back pre-bound to the session's
+handler.
+
+Retrieval-as-planning over priced alternatives follows "Efficient
+Snapshot Retrieval over Historical Graph Data" (Khurana & Deshpande,
+ICDE 2013); here the unit priced is the whole fetch plan.
+
+Direct construction of ``TGIHandler`` (and calling ``TGI.get_*`` for
+anything but internal plumbing) is deprecated in favor of sessions; both
+classes keep working and offer ``.session()`` shims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.api import (
+    ALGO_AUTO,
+    ALGO_KHOP,
+    ALGO_PER_CENTER,
+    ALGO_SNAPSHOT_FIRST,
+    ALGORITHMS,
+    QueryRequest,
+    QueryResult,
+    QueryStats,
+)
+from repro.errors import IndexError_, QueryError
+from repro.exec import DeltaCache, PlanExecutor, shared_caches
+from repro.graph.static import Graph
+from repro.index.tgi import TGI, TGIPlanner, price_plan
+from repro.kvstore.cost import ExecutionTimeline, FetchStats
+from repro.spark.rdd import SparkContext
+from repro.storage import load_index
+from repro.taf.handler import TGIHandler
+from repro.taf.son import SON, SOTS
+from repro.types import NodeId, TimePoint
+
+#: Shared-cache capacity used when a session enables caching but neither
+#: the call site nor the index config names one.
+DEFAULT_CACHE_ENTRIES = 8192
+
+#: Candidate preference on predicted-cost ties: the targeted algorithms'
+#: bounds are conservative (the fetch loads partitions lazily and may
+#: touch fewer), while snapshot-first's estimate is exact — so a tie goes
+#: to the targeted plan.
+_TIE_ORDER = {ALGO_KHOP: 0, ALGO_PER_CENTER: 1, ALGO_SNAPSHOT_FIRST: 2}
+
+
+def open_graph(
+    path: Union[str, Path],
+    *,
+    workers: int = 2,
+    clients: int = 1,
+    cache_entries: Optional[int] = None,
+) -> "GraphSession":
+    """Open a stored index as a :class:`GraphSession`.
+
+    The session's cache-registry id is the resolved file path, so two
+    ``open_graph`` calls on the same file — in the same process — share
+    one :class:`~repro.exec.DeltaCache` and serve each other's warm rows.
+
+    Args:
+        path: an index file written by ``save_index`` / ``hgs build``.
+        workers: simulated analytics workers for the TAF paths.
+        clients: default parallel fetch clients per store round.
+        cache_entries: shared-cache capacity; ``None`` defers to the
+            index's ``delta_cache_entries`` (0 keeps caching off, which
+            reproduces uncached fetch accounting exactly).
+    """
+    index = load_index(path)
+    if not isinstance(index, TGI):
+        raise QueryError(
+            f"open_graph requires a TGI index, got {type(index).__name__}; "
+            "baseline index families remain queryable via load_index() "
+            "and the HistoricalGraphIndex interface"
+        )
+    return GraphSession(
+        index,
+        index_id=index_id_for(path),
+        workers=workers,
+        clients=clients,
+        cache_entries=cache_entries,
+    )
+
+
+def index_id_for(path: Union[str, Path]) -> str:
+    """Registry id for a stored index: resolved path plus a content
+    fingerprint (mtime + size), so rebuilding an index file in-process
+    starts a fresh cache slot instead of serving the old file's rows."""
+    resolved = Path(path).expanduser().resolve()
+    st = resolved.stat()
+    return f"{resolved}:{st.st_mtime_ns}:{st.st_size}"
+
+
+class GraphSession:
+    """One front door to a built :class:`TGI` and its analytics layer.
+
+    Args:
+        tgi: the index to serve queries from.
+        index_id: registry key for cross-session cache sharing; sessions
+            with equal ids share one cache.  ``None`` (the default for
+            in-memory indexes) keeps the cache private to the ``tgi``
+            object — same-object sessions still share through it, but
+            nothing enters the process registry, whose keys must outlive
+            the index object.
+        spark_context: analytics cluster; built from ``workers`` if
+            omitted.
+        workers: simulated analytics workers when building the context.
+        clients: default parallel fetch clients for store rounds.
+        cache_entries: capacity of the shared delta cache; ``None`` uses
+            the index's ``delta_cache_entries`` config (so the default
+            session reproduces the index's configured fetch accounting),
+            any positive value forces caching on, 0 forces it off.
+    """
+
+    def __init__(
+        self,
+        tgi: TGI,
+        *,
+        index_id: Optional[str] = None,
+        spark_context: Optional[SparkContext] = None,
+        workers: int = 2,
+        clients: int = 1,
+        cache_entries: Optional[int] = None,
+    ) -> None:
+        if not isinstance(tgi, TGI):
+            raise QueryError(
+                f"GraphSession serves TGI indexes, got {type(tgi).__name__}"
+            )
+        self.tgi = tgi
+        self.index_id = index_id
+        capacity = (
+            cache_entries
+            if cache_entries is not None
+            else tgi.config.delta_cache_entries
+        )
+        if capacity < 0:
+            raise QueryError("cache_entries cannot be negative")
+        if capacity > 0:
+            if index_id is not None:
+                self.cache = shared_caches.get(index_id, capacity)
+            else:
+                # anonymous in-memory index: reuse its own cache or make
+                # a private one — never a registry slot keyed by object
+                # identity (id() reuse would alias a dead index's rows)
+                self.cache = (
+                    tgi.delta_cache if tgi.delta_cache is not None
+                    else DeltaCache(capacity)
+                )
+            # rebind the index's executor so every path — direct TGI
+            # calls, TAF fetches, session queries — reads through the
+            # shared cache
+            tgi.delta_cache = self.cache
+            tgi.executor = PlanExecutor(tgi.cluster, self.cache)
+        else:
+            self.cache = None
+            # an earlier session may have bound a cache to this index;
+            # capacity 0 must really mean uncached accounting
+            tgi.delta_cache = None
+            tgi.executor = PlanExecutor(tgi.cluster, None)
+        self.sc = spark_context or SparkContext(num_workers=workers)
+        self.clients = clients
+        self.handler = TGIHandler(
+            tgi, self.sc, clients_per_partition=clients
+        )
+        self.planner = TGIPlanner(tgi)
+        self.last_result: Optional[QueryResult] = None
+
+    # ------------------------------------------------------------------
+    # construction shims
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_index(cls, tgi: TGI, **kwargs) -> "GraphSession":
+        """Session over an already-built (or just-loaded) index."""
+        return cls(tgi, **kwargs)
+
+    @classmethod
+    def from_handler(cls, handler: TGIHandler, **kwargs) -> "GraphSession":
+        """Adopt a legacy hand-wired :class:`TGIHandler` (deprecation
+        shim: the session reuses its index, Spark context and client
+        count instead of constructing fresh ones)."""
+        kwargs.setdefault("spark_context", handler.sc)
+        kwargs.setdefault("clients", handler.clients_per_partition)
+        session = cls(handler.tgi, **kwargs)
+        session.handler = handler
+        return session
+
+    # ------------------------------------------------------------------
+    # fluent builder entry points
+    # ------------------------------------------------------------------
+    def at(self, t: TimePoint) -> "TimeView":
+        """Queries anchored at one time point (snapshot, k-hop, state)."""
+        return TimeView(self, t)
+
+    def between(self, ts: TimePoint, te: TimePoint) -> "RangeView":
+        """Queries over an interval (histories, neighborhood evolution)."""
+        if te < ts:
+            raise QueryError(f"empty interval [{ts}, {te}]")
+        return RangeView(self, ts, te)
+
+    def nodes(self, predicate=None) -> SON:
+        """A lazy :class:`~repro.taf.son.SON` pre-bound to this session's
+        handler; ``predicate`` (string or callable) is applied as a
+        ``Select`` before fetch."""
+        son = SON(self.handler)
+        if predicate is not None:
+            son = son.Select(predicate)
+        return son
+
+    def subgraphs(self, k: int = 1, predicate=None) -> SOTS:
+        """A lazy :class:`~repro.taf.son.SOTS` of k-hop neighborhoods
+        pre-bound to this session's handler."""
+        sots = SOTS(k, self.handler)
+        if predicate is not None:
+            sots = sots.Select(predicate)
+        return sots
+
+    # ------------------------------------------------------------------
+    # request pricing
+    # ------------------------------------------------------------------
+    def _khop_candidates(
+        self, request: QueryRequest
+    ) -> Tuple[Dict[str, float], bool]:
+        """Predicted sim-ms per candidate k-hop plan, plus whether the
+        targeted bound could be planned at all (a single dead center
+        can't — the caller then lets Algorithm 4 raise cleanly)."""
+        assert request.t is not None
+        clients = request.clients
+        candidates: Dict[str, float] = {
+            ALGO_SNAPSHOT_FIRST: price_plan(
+                self.tgi.cluster,
+                self.planner.plan_snapshot(request.t),
+                clients=clients,
+            )
+        }
+        per_center = 0.0
+        union_keys: List = []
+        union_seen = set()
+        plannable = False
+        for center in dict.fromkeys(request.nodes):
+            try:
+                sub = self.planner.plan_khop(center, request.t, k=request.k)
+            except IndexError_:
+                continue
+            plannable = True
+            per_center += price_plan(self.tgi.cluster, sub, clients=clients)
+            for key in sub.all_keys():
+                if key not in union_seen:
+                    union_seen.add(key)
+                    union_keys.append(key)
+        if plannable:
+            if request.single:
+                candidates[ALGO_KHOP] = per_center
+            else:
+                # the shared frontier fetches the per-center union once
+                candidates[ALGO_KHOP] = price_plan(
+                    self.tgi.cluster, union_keys, clients=clients
+                )
+                candidates[ALGO_PER_CENTER] = per_center
+        return candidates, plannable
+
+    def _choose_khop(
+        self, request: QueryRequest
+    ) -> Tuple[str, Dict[str, float]]:
+        """Resolve the algorithm for a k-hop request: forced choices pass
+        through; ``auto`` takes the cheapest priced candidate (ties break
+        toward the targeted bound, see :data:`_TIE_ORDER`)."""
+        candidates, plannable = self._khop_candidates(request)
+        if request.algorithm != ALGO_AUTO:
+            chosen = request.algorithm
+            if chosen == ALGO_PER_CENTER and request.single:
+                chosen = ALGO_KHOP  # one center: the loop *is* Algorithm 4
+            return chosen, candidates
+        if not plannable:
+            # no alive center to bound: run Algorithm 4, which raises (or
+            # returns per-center Nones) without fetching a full snapshot
+            return ALGO_KHOP, candidates
+        chosen = min(
+            candidates,
+            key=lambda name: (candidates[name], _TIE_ORDER[name]),
+        )
+        return chosen, candidates
+
+    def _predict(self, request: QueryRequest) -> Optional[float]:
+        """Predicted cost for the non-k-hop kinds (single candidate)."""
+        try:
+            if request.kind == "snapshot":
+                return price_plan(
+                    self.tgi.cluster,
+                    self.planner.plan_snapshot(request.t),
+                    clients=request.clients,
+                )
+            if request.kind in ("node_histories", "node_state"):
+                ts = request.ts if request.kind == "node_histories" else request.t
+                te = request.te if request.kind == "node_histories" else request.t
+                return price_plan(
+                    self.tgi.cluster,
+                    self.planner.plan_node_histories(request.nodes, ts, te),
+                    clients=request.clients,
+                )
+        except IndexError_:
+            return None
+        return None  # khop_history: no metadata-only bound yet
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute(self, request: QueryRequest) -> QueryResult:
+        """Price, select, and run one compiled request."""
+        if request.kind == "khop":
+            result = self._execute_khop(request)
+        else:
+            result = self._execute_simple(request)
+        self.last_result = result
+        return result
+
+    def _execute_simple(self, request: QueryRequest) -> QueryResult:
+        tgi = self.tgi
+        predicted = self._predict(request)
+        algorithm = {
+            "snapshot": "snapshot",
+            "node_state": "micro-delta",
+            "node_histories": "batched-histories",
+            "khop_history": "khop-history",
+        }[request.kind]
+        if request.kind == "snapshot":
+            value = tgi.get_snapshot(request.t, clients=request.clients)
+        elif request.kind == "node_state":
+            value = tgi.get_node_state(
+                request.nodes[0], request.t, clients=request.clients
+            )
+        elif request.kind == "node_histories":
+            histories = tgi.get_node_histories(
+                list(request.nodes), request.ts, request.te,
+                clients=request.clients,
+            )
+            value = histories[0] if request.single else histories
+        else:  # khop_history
+            value = tgi.get_khop_history(
+                request.nodes[0], request.ts, request.te,
+                clients=request.clients,
+            )
+        stats = QueryStats.from_fetch(
+            tgi.last_fetch_stats,
+            algorithm=algorithm,
+            predicted_ms=predicted,
+            candidates={algorithm: predicted} if predicted is not None else {},
+        )
+        return QueryResult(request, value, stats)
+
+    def _execute_khop(self, request: QueryRequest) -> QueryResult:
+        tgi = self.tgi
+        chosen, candidates = self._choose_khop(request)
+        t, k, clients = request.t, request.k, request.clients
+        if chosen == ALGO_KHOP:
+            if request.single:
+                value = tgi.get_khop(request.nodes[0], t, k=k,
+                                     clients=clients)
+            else:
+                value = tgi.get_khops(list(request.nodes), t, k=k,
+                                      clients=clients)
+            fetch = tgi.last_fetch_stats
+        elif chosen == ALGO_PER_CENTER:
+            # fetch each *distinct* center once (matching how the
+            # candidate was priced); duplicate inputs share the result
+            fetch = FetchStats()
+            graphs: Dict[NodeId, Optional[Graph]] = {}
+            for center in dict.fromkeys(request.nodes):
+                try:
+                    graphs[center] = tgi.get_khop(center, t, k=k,
+                                                  clients=clients)
+                except IndexError_:
+                    graphs[center] = None
+                fetch.merge(tgi.last_fetch_stats)
+            value = [graphs[center] for center in request.nodes]
+        elif chosen == ALGO_SNAPSHOT_FIRST:
+            if request.single:
+                value = tgi.get_khop_snapshot_first(
+                    request.nodes[0], t, k=k, clients=clients
+                )
+            else:
+                g = tgi.get_snapshot(t, clients=clients)
+                value = [
+                    g.khop_subgraph(center, k) if g.has_node(center) else None
+                    for center in request.nodes
+                ]
+            fetch = tgi.last_fetch_stats
+        else:
+            raise QueryError(f"unknown k-hop algorithm {chosen!r}")
+        stats = QueryStats.from_fetch(
+            fetch,
+            algorithm=chosen,
+            predicted_ms=candidates.get(chosen),
+            candidates=candidates,
+        )
+        return QueryResult(request, value, stats)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def explain(self, request: QueryRequest) -> str:
+        """The retrieval plan and its cost estimate, without fetching.
+
+        For k-hop requests the output also lists every candidate's
+        predicted cost and which one ``auto`` would pick; for pipelined
+        indexes it appends the executor's round timeline.
+        """
+        chosen: Optional[str] = None
+        candidates: Dict[str, float] = {}
+        if request.kind == "snapshot":
+            plan = self.planner.plan_snapshot(request.t)
+        elif request.kind == "node_state":
+            plan = self.planner.plan_node_history(
+                request.nodes[0], request.t, request.t
+            )
+        elif request.kind == "node_histories":
+            if request.single:
+                plan = self.planner.plan_node_history(
+                    request.nodes[0], request.ts, request.te
+                )
+            else:
+                plan = self.planner.plan_node_histories(
+                    request.nodes, request.ts, request.te
+                )
+        elif request.kind == "khop_history":
+            plan = self.planner.plan_node_history(
+                request.nodes[0], request.ts, request.te
+            )
+        elif request.kind == "khop":
+            chosen, candidates = self._choose_khop(request)
+            if chosen == ALGO_SNAPSHOT_FIRST:
+                plan = self.planner.plan_snapshot(request.t)
+            elif request.single:
+                plan = self.planner.plan_khop(
+                    request.nodes[0], request.t, k=request.k
+                )
+            else:
+                plan = self.planner.plan_khops(
+                    request.nodes, request.t, k=request.k
+                )
+        else:
+            raise QueryError(f"cannot explain query kind {request.kind!r}")
+
+        lines = [plan.explain()]
+        records = self.tgi.cluster.plan_records(
+            plan.all_keys(), clients=request.clients
+        )
+        est = price_plan(self.tgi.cluster, plan, clients=request.clients)
+        lines.append(
+            f"estimate: {len(records)} requests, "
+            f"~{est:.2f} sim-ms as one sequential round"
+        )
+        if candidates:
+            ranked = ", ".join(
+                f"{name}={ms:.2f} sim-ms"
+                for name, ms in sorted(candidates.items(),
+                                       key=lambda kv: kv[1])
+            )
+            lines.append(f"candidates: {ranked} -> {chosen}")
+        if self.tgi.config.pipeline:
+            lines.append(self._timeline_estimate(plan, request.clients))
+        return "\n".join(lines)
+
+    def _timeline_estimate(self, plan, clients: int) -> str:
+        """Group the plan's steps into the multiget rounds the executor
+        would issue (chained steps depend on round-1 data, so they form a
+        second round) and lay them on an :class:`ExecutionTimeline` —
+        overlap accrues only across concurrent plans, never within one
+        query's dependency chain."""
+        first_round: List = []
+        chained_round: List = []
+        for step in plan.steps:
+            target = chained_round if step.chained else first_round
+            target.extend(step.keys)
+        timeline = ExecutionTimeline(self.tgi.cluster.config.cost_model)
+        at = 0.0
+        for keys in (first_round, chained_round):
+            if not keys:
+                continue
+            timing = timeline.submit(
+                self.tgi.cluster.plan_records(keys, clients=clients), at=at
+            )
+            at = timing.completed_ms
+        return timeline.describe()
+
+
+@dataclass(frozen=True)
+class TimeView:
+    """Queries anchored at one time point (``session.at(t)``); terminal
+    methods compile a :class:`QueryRequest` and execute it — nothing is
+    planned or fetched until then."""
+
+    session: GraphSession
+    t: TimePoint
+
+    def _clients(self, clients: Optional[int]) -> int:
+        return clients if clients is not None else self.session.clients
+
+    def snapshot(self, clients: Optional[int] = None) -> QueryResult:
+        """Algorithm 1: the whole graph as of ``t``."""
+        return self.session.execute(QueryRequest(
+            kind="snapshot", t=self.t, clients=self._clients(clients),
+        ))
+
+    def khop(
+        self,
+        center: Union[NodeId, Sequence[NodeId]],
+        k: int = 1,
+        algorithm: str = ALGO_AUTO,
+        clients: Optional[int] = None,
+    ) -> QueryResult:
+        """k-hop neighborhood(s) at ``t``.
+
+        A scalar ``center`` yields one :class:`~repro.graph.static.Graph`
+        (raising if the node is dead, matching ``TGI.get_khop``); a
+        sequence yields one graph-or-``None`` per center.  ``algorithm``
+        picks Algorithm 3 vs 4 (and per-center vs shared-frontier) —
+        ``auto`` defers to plan pricing.
+        """
+        # node ids are scalars (ints); anything iterable — list, tuple,
+        # set, range, generator — is a population of centers
+        single = not hasattr(center, "__iter__")
+        nodes = (center,) if single else tuple(center)
+        return self.session.execute(QueryRequest(
+            kind="khop", t=self.t, nodes=nodes, k=k,
+            algorithm=algorithm, clients=self._clients(clients),
+            single=single,
+        ))
+
+    def node_state(
+        self, node: NodeId, clients: Optional[int] = None
+    ) -> QueryResult:
+        """One node's static state at ``t`` (``None`` when not alive)."""
+        return self.session.execute(QueryRequest(
+            kind="node_state", t=self.t, nodes=(node,),
+            clients=self._clients(clients), single=True,
+        ))
+
+
+@dataclass(frozen=True)
+class RangeView:
+    """Interval queries (``session.between(ts, te)``)."""
+
+    session: GraphSession
+    ts: TimePoint
+    te: TimePoint
+
+    def _clients(self, clients: Optional[int]) -> int:
+        return clients if clients is not None else self.session.clients
+
+    def node_history(
+        self, node: NodeId, clients: Optional[int] = None
+    ) -> QueryResult:
+        """Algorithm 2: one node's evolution over ``[ts, te]``."""
+        return self.session.execute(QueryRequest(
+            kind="node_histories", ts=self.ts, te=self.te, nodes=(node,),
+            clients=self._clients(clients), single=True,
+        ))
+
+    def node_histories(
+        self, nodes: Sequence[NodeId], clients: Optional[int] = None
+    ) -> QueryResult:
+        """Batched Algorithm 2 over a node population (O(1) rounds)."""
+        return self.session.execute(QueryRequest(
+            kind="node_histories", ts=self.ts, te=self.te,
+            nodes=tuple(nodes), clients=self._clients(clients),
+        ))
+
+    def khop_history(
+        self, center: NodeId, clients: Optional[int] = None
+    ) -> QueryResult:
+        """Algorithm 5: 1-hop neighborhood evolution around ``center``."""
+        return self.session.execute(QueryRequest(
+            kind="khop_history", ts=self.ts, te=self.te, nodes=(center,),
+            clients=self._clients(clients), single=True,
+        ))
+
+    def nodes(self, predicate=None) -> SON:
+        """A pre-bound lazy SoN already timesliced to ``[ts, te]``."""
+        return self.session.nodes(predicate).Timeslice(self.ts, self.te)
+
+    def subgraphs(self, k: int = 1, predicate=None) -> SOTS:
+        """A pre-bound lazy SoTS already timesliced to ``[ts, te]``."""
+        return self.session.subgraphs(k, predicate).Timeslice(
+            self.ts, self.te
+        )

@@ -51,6 +51,8 @@ class ParallelFetchStats:
     bytes_read: int = 0
     rounds: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    cache_bytes_saved: int = 0
     overlap_saved_ms: float = 0.0
 
     @property
@@ -63,12 +65,21 @@ class ParallelFetchStats:
         self.bytes_read += fetch.bytes_read
         self.rounds += fetch.rounds
         self.cache_hits += fetch.cache_hits
+        self.cache_misses += fetch.cache_misses
+        self.cache_bytes_saved += fetch.cache_bytes_saved
         self.overlap_saved_ms += fetch.overlap_saved_ms
 
 
 class TGIHandler:
     """Connection handle used by SoN/SoTS (``TGIHandler(tgiconf, name, sc)``
     in the paper's listings; here it wraps a built :class:`TGI` directly).
+
+    .. deprecated::
+        Direct construction is the legacy wiring path.  Prefer
+        :class:`repro.session.GraphSession` / ``open_graph``, which owns
+        the handler, shares the cross-index delta cache, and prices plans
+        before fetching; an existing handler converts via
+        :meth:`session`.
 
     Args:
         tgi: the temporal graph index to fetch from.
@@ -87,6 +98,14 @@ class TGIHandler:
         self.sc = spark_context or SparkContext()
         self.clients_per_partition = clients_per_partition
         self.last_fetch_stats = ParallelFetchStats()
+
+    def session(self, **kwargs):
+        """Wrap this handler in a :class:`~repro.session.GraphSession`
+        (the preferred query facade); the session reuses this handler's
+        index, Spark context and client count."""
+        from repro.session import GraphSession
+
+        return GraphSession.from_handler(self, **kwargs)
 
     # ------------------------------------------------------------------
     def known_nodes(
@@ -113,16 +132,36 @@ class TGIHandler:
 
         Each analytics partition issues one *batched* history fetch for
         its whole chunk (:meth:`TGI.get_node_histories`), so a partition
-        costs O(1) store rounds instead of O(nodes)."""
+        costs O(1) store rounds instead of O(nodes).  With
+        ``TGIConfig.pipeline`` enabled, all chunk plans are submitted
+        through a single :meth:`PlanExecutor.execute_many` call, so the
+        chunks' 2-round plans overlap on one shared execution timeline —
+        the same async-client model the SoTS path uses — instead of
+        running strictly one after another."""
         stats = ParallelFetchStats(num_workers=self.sc.num_workers)
         parts = self.sc.parallelize(node_ids).num_partitions
         chunks: List[List[NodeId]] = [[] for _ in range(parts)]
         for i, nid in enumerate(node_ids):
             chunks[i % parts].append(nid)
+        chunks = [chunk for chunk in chunks if chunk]
         out: List[NodeT] = []
+        if self.tgi.config.pipeline and chunks:
+            plans = []
+            finalizers = []
+            for chunk in chunks:
+                plan, finalize = self.tgi._node_histories_plan(chunk, ts, te)
+                plans.append(plan)
+                finalizers.append(finalize)
+            pipelined = self.tgi.executor.execute_many(
+                plans, clients=self.clients_per_partition, pipelined=True,
+            )
+            for finalize, result in zip(finalizers, pipelined.results):
+                out.extend(NodeT(h) for h in finalize(result.values))
+            stats.absorb(pipelined.stats)
+            stats.partition_sim_ms.append(pipelined.stats.sim_time_ms)
+            self.last_fetch_stats = stats
+            return out
         for chunk in chunks:
-            if not chunk:
-                continue
             histories = self.tgi.get_node_histories(
                 chunk, ts, te, clients=self.clients_per_partition
             )
@@ -243,6 +282,8 @@ class TGIHandler:
                 total.bytes_read += fetch.bytes_read
                 total.rounds += fetch.rounds
                 total.cache_hits += fetch.cache_hits
+                total.cache_misses += fetch.cache_misses
+                total.cache_bytes_saved += fetch.cache_bytes_saved
                 if sg is not None:
                     out.append(sg)
             total.partition_sim_ms.append(sim_ms)

@@ -195,6 +195,9 @@ class SON:
         self._pre_id_predicates: List[Callable[[int, dict], bool]] = []
         self._deferred_predicates: List[Callable[[NodeT], bool]] = []
         self._filter_keys: Optional[List[str]] = None
+        #: fetch accounting of the retrieval that materialized this set
+        #: (None for unfetched or derived sets)
+        self.fetch_stats = None
 
     # ------------------------------------------------------------------
     # state
@@ -312,7 +315,9 @@ class SON:
             nodes = [nt for nt in nodes if pred(nt)]
         if self._filter_keys is not None:
             nodes = [nt.project_attrs(self._filter_keys) for nt in nodes]
-        return SON(self.handler, _nodes=nodes, _interval=(ts, te))
+        out = SON(self.handler, _nodes=nodes, _interval=(ts, te))
+        out.fetch_stats = self.handler.last_fetch_stats
+        return out
 
     def _effective_interval(self) -> Tuple[TimePoint, TimePoint]:
         if self._interval is not None:
@@ -321,6 +326,11 @@ class SON:
             return max(self._interval[0], lo), min(self._interval[1], hi)
         assert self.handler is not None
         return self.handler.history_range()
+
+    # lowercase aliases so paper-style operators read naturally from the
+    # fluent session API (``session.nodes(...).timeslice(...).fetch()``)
+    timeslice = Timeslice
+    select = Select
 
     def _clone(self, interval=None) -> "SON":
         out = SON(self.handler, _interval=interval or self._interval)
@@ -512,6 +522,8 @@ class SOTS:
         self._subgraphs = _subgraphs
         self._interval = _interval
         self._pre_id_predicates: List[Callable[[int, dict], bool]] = []
+        #: fetch accounting of the retrieval that materialized this set
+        self.fetch_stats = None
 
     # -- specification ---------------------------------------------------
     def Timeslice(self, arg, te: Optional[TimePoint] = None):
@@ -569,8 +581,10 @@ class SOTS:
         for pred in self._pre_id_predicates:
             universe = [n for n in universe if pred(n, {})]
         subgraphs = self.handler.fetch_subgraphs(universe, self.k, ts, te)
-        return SOTS(self.k, self.handler, _subgraphs=subgraphs,
-                    _interval=(ts, te))
+        out = SOTS(self.k, self.handler, _subgraphs=subgraphs,
+                   _interval=(ts, te))
+        out.fetch_stats = self.handler.last_fetch_stats
+        return out
 
     def _effective_interval(self) -> Tuple[TimePoint, TimePoint]:
         assert self.handler is not None
@@ -578,6 +592,10 @@ class SOTS:
         if self._interval is None:
             return lo, hi
         return max(self._interval[0], lo), min(self._interval[1], hi)
+
+    # lowercase aliases matching the fluent session API
+    timeslice = Timeslice
+    select = Select
 
     # -- materialized access ------------------------------------------------
     def collect(self) -> List[SubgraphT]:
