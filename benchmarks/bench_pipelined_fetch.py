@@ -58,11 +58,12 @@ def _measure(label, handler, centers, ts, te):
 @pytest.fixture(scope="module")
 def sequential(setup):
     events, centers, ts, te = setup
-    tgi = build_tgi(events)
+    tgi = build_tgi(events, pipeline=False)
     handler = TGIHandler(tgi, SparkContext(num_workers=WORKERS))
     row = _measure("per-center sequential", handler, centers, ts, te)
-    # pin the default path to PR 1 accounting: fetch_subgraphs must cost
-    # exactly what the per-center fetch_subgraph loop costs
+    # pin the sequential (--no-pipeline) path to PR 1 accounting:
+    # fetch_subgraphs must cost exactly what the per-center
+    # fetch_subgraph loop costs
     loop_requests = 0
     loop_rounds = 0
     for center in centers:
@@ -102,7 +103,7 @@ def test_pipelined_fetch_report(benchmark, sequential, pipelined):
     )
 
 
-def test_default_mode_reproduces_per_center_counts(benchmark, sequential):
+def test_sequential_mode_reproduces_per_center_counts(benchmark, sequential):
     def _check():
         assert sequential["requests"] == sequential["loop_requests"]
         assert sequential["rounds"] == sequential["loop_rounds"]

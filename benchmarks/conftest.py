@@ -68,7 +68,7 @@ def build_tgi(
     compress: bool = False,
     partitioning: PartitioningStrategy = PartitioningStrategy.RANDOM,
     replicate: bool = False,
-    pipeline: bool = False,
+    pipeline: bool = True,
 ) -> TGI:
     """Build a TGI with the paper's parameter names."""
     tgi = TGI(

@@ -25,10 +25,16 @@ class QueryStats:
         requests: store requests issued (cache hits excluded).
         rounds: multiget rounds.
         bytes_read: stored bytes moved off the simulated wire.
-        sim_time_ms: simulated completion time of the fetch.
+        sim_time_ms: simulated completion time of the fetch (including
+            client-side apply time when the cost model prices it).
         overlap_saved_ms: simulated time won by pipelined overlap.
+        apply_ms: simulated client-side apply time (payload decode plus
+            delta/event replay; 0 under a fetch-only cost model).
         cache_hits / cache_misses / cache_bytes_saved: delta-cache
             outcomes (0 when the session runs uncached).
+        checkpoint_hits / checkpoint_misses: materialized-state checkpoint
+            outcomes (0 when checkpoints are off); a hit seeded replay
+            from a memoized state instead of re-fetching and re-applying.
         algorithm: the plan the session executed (e.g. ``snapshot-first``).
         predicted_ms: the cost model's estimate for the chosen plan,
             priced via ``Cluster.plan_records`` before fetching.
@@ -41,9 +47,12 @@ class QueryStats:
     bytes_read: int = 0
     sim_time_ms: float = 0.0
     overlap_saved_ms: float = 0.0
+    apply_ms: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes_saved: int = 0
+    checkpoint_hits: int = 0
+    checkpoint_misses: int = 0
     algorithm: Optional[str] = None
     predicted_ms: Optional[float] = None
     candidates: Dict[str, float] = field(default_factory=dict)
@@ -76,9 +85,12 @@ class QueryStats:
             bytes_read=getattr(stats, "bytes_read", 0),
             sim_time_ms=getattr(stats, "sim_time_ms", 0.0),
             overlap_saved_ms=getattr(stats, "overlap_saved_ms", 0.0),
+            apply_ms=getattr(stats, "apply_ms", 0.0),
             cache_hits=getattr(stats, "cache_hits", 0),
             cache_misses=getattr(stats, "cache_misses", 0),
             cache_bytes_saved=getattr(stats, "cache_bytes_saved", 0),
+            checkpoint_hits=getattr(stats, "checkpoint_hits", 0),
+            checkpoint_misses=getattr(stats, "checkpoint_misses", 0),
             algorithm=algorithm,
             predicted_ms=predicted_ms,
             candidates=dict(candidates or {}),
@@ -95,11 +107,18 @@ class QueryStats:
         }
         if self.overlap_saved_ms:
             out["overlap_saved_ms"] = round(self.overlap_saved_ms, 2)
+        if self.apply_ms:
+            out["apply_ms"] = round(self.apply_ms, 2)
         if self.cache_hits or self.cache_misses:
             out["cache"] = {
                 "hits": self.cache_hits,
                 "misses": self.cache_misses,
                 "bytes_saved": self.cache_bytes_saved,
+            }
+        if self.checkpoint_hits or self.checkpoint_misses:
+            out["checkpoints"] = {
+                "hits": self.checkpoint_hits,
+                "misses": self.checkpoint_misses,
             }
         if self.algorithm is not None:
             out["algorithm"] = self.algorithm

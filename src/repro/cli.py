@@ -26,6 +26,7 @@ from repro.graph.static import Graph
 from repro.index.tgi import TGI, PartitioningStrategy, TGIConfig
 from repro.io import read_events, write_events
 from repro.kvstore.cluster import ClusterConfig
+from repro.kvstore.cost import CostModel
 from repro.session import GraphSession
 from repro.storage import load_index, save_index
 from repro.workloads.citation import CitationConfig, generate_citation_events
@@ -71,9 +72,23 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="1-hop edge-cut replication")
     build.add_argument("--cache-entries", type=int, default=0,
                        help="delta-cache capacity in rows (0 = disabled)")
-    build.add_argument("--pipeline", action="store_true",
+    build.add_argument("--cache-bytes", type=int, default=0,
+                       help="delta-cache byte bound with size-aware "
+                       "admission (0 = no byte bound)")
+    build.add_argument("--checkpoints", type=int, default=0,
+                       help="materialized-state checkpoint capacity: "
+                       "fully-replayed partition states / snapshots "
+                       "reused across queries (0 = disabled)")
+    build.add_argument("--apply-cost", action="store_true",
+                       help="cost client-side apply work (payload decode "
+                       "+ delta/event replay) in the simulation; "
+                       "apply_ms appears in query JSON")
+    build.add_argument("--pipeline", default=True,
+                       action=argparse.BooleanOptionalAction,
                        help="overlap independent fetch plans on a shared "
-                       "execution timeline (async-client model)")
+                       "execution timeline (async-client model); "
+                       "--no-pipeline restores the strictly sequential "
+                       "per-center schedule")
 
     query = sub.add_parser("query", help="query a saved index")
     query.add_argument("index", help="index file from `hgs build`")
@@ -132,6 +147,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     events = read_events(args.events)
+    cost_model = CostModel()
+    if args.apply_cost:
+        cost_model = cost_model.with_apply()
     config = TGIConfig(
         events_per_timespan=args.span,
         eventlist_size=args.eventlist,
@@ -142,11 +160,14 @@ def _cmd_build(args: argparse.Namespace) -> int:
         ),
         replicate_boundary=args.replicate_boundary,
         delta_cache_entries=args.cache_entries,
+        delta_cache_bytes=args.cache_bytes,
+        checkpoint_entries=args.checkpoints,
         pipeline=args.pipeline,
         cluster=ClusterConfig(
             num_machines=args.machines,
             replication=args.replication,
             compress=args.compress,
+            cost_model=cost_model,
         ),
     )
     tgi = TGI(config)
@@ -272,6 +293,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "machines": index.config.cluster.num_machines,
                 "replication": index.config.cluster.replication,
                 "delta_cache_entries": index.config.delta_cache_entries,
+                "delta_cache_bytes": index.config.delta_cache_bytes,
+                "checkpoint_entries": index.config.checkpoint_entries,
                 "pipeline": index.config.pipeline,
             })
         print(json.dumps(info, indent=2))

@@ -50,8 +50,11 @@ batches whole node populations through them.
 
 from repro.exec.cache import (
     CacheRegistry,
+    CacheSlot,
     CacheStats,
+    CheckpointStats,
     DeltaCache,
+    StateCheckpointCache,
     shared_caches,
 )
 from repro.exec.executor import PipelineResult, PlanExecutor, PlanResult
@@ -59,8 +62,11 @@ from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, StageFactory
 
 __all__ = [
     "CacheRegistry",
+    "CacheSlot",
     "CacheStats",
+    "CheckpointStats",
     "DeltaCache",
+    "StateCheckpointCache",
     "shared_caches",
     "FetchPlan",
     "FetchStage",

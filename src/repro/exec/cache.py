@@ -1,25 +1,49 @@
-"""Bounded LRU cache over decoded store rows + the process-wide registry.
+"""Caches for the execution layer, plus the process-wide registry.
 
-TGI rows are immutable once written (timespans are append-only; the only
-rewritten rows are version chains, which the index invalidates on batch
-update), so a decoded row can be reused across fetch plans without
-re-reading or re-deserializing it.  The cache tracks the *stored* size of
-every entry so the executor can report bytes saved in the fetch stats.
+Three reuse levels, cheapest miss first:
 
-:class:`CacheRegistry` extends reuse across *consumers*: every session,
-TAF handler, or CLI query over the same stored index can share one
-:class:`DeltaCache` by agreeing on an index id (for on-disk indexes, the
-resolved file path).  Rows inside each cache are keyed by delta key, so
-the effective registry key is ``(index id, DeltaKey)``.
+- :class:`DeltaCache` — bounded LRU over *decoded store rows*.  TGI rows
+  are immutable once written (timespans are append-only; the only
+  rewritten rows are version chains, which the index invalidates on batch
+  update), so a decoded row can be reused across fetch plans without
+  re-reading or re-deserializing it.  The cache tracks the *stored* size
+  of every entry so the executor can report bytes saved in the fetch
+  stats.  Capacity can be bounded by entry count, by total stored bytes,
+  or both; in bytes-bounded mode admission is *size-aware* — one huge
+  root-snapshot row is refused instead of evicting many small micro-delta
+  rows that each serve a different query.
+
+- :class:`StateCheckpointCache` — bounded LRU over *fully-replayed
+  states* (materialized partition states / snapshot graphs), keyed by the
+  index at ``(timespan, partition, time)``.  A delta-cache hit still pays
+  the Python replay of every component; a checkpoint hit skips replay
+  entirely and seeds the query from the memoized state.  Entries are
+  returned copy-on-read (via the clone function captured at admit time)
+  so consumers can never mutate the cached state.
+
+- :class:`CacheRegistry` — the process-wide pool sharing both caches
+  across *consumers*: every session, TAF handler, or CLI query over the
+  same stored index agrees on an index id (for on-disk indexes, the
+  resolved file path + fingerprint) and gets the same :class:`CacheSlot`
+  back.  Slots are reference-counted (``acquire`` / ``release``, driven
+  by ``GraphSession.close()``); an unreferenced slot is dropped
+  immediately, or — when the registry is built with a TTL — kept warm for
+  that long so short-lived consumers in a long-running service still hit
+  each other's rows.
 """
 
 from __future__ import annotations
 
+import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 KeyTuple = Tuple
+
+#: In bytes-bounded mode, refuse to admit a single row larger than this
+#: fraction of the byte budget (it would evict too much of the working set).
+MAX_ROW_BUDGET_FRACTION = 0.25
 
 
 @dataclass(frozen=True)
@@ -41,6 +65,9 @@ class CacheStats:
     bytes_saved: int
     entries: int
     max_entries: int
+    bytes_cached: int = 0
+    max_bytes: int = 0
+    rejected: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -49,23 +76,39 @@ class CacheStats:
 
 
 class DeltaCache:
-    """LRU cache of decoded rows, bounded by entry count.
+    """LRU cache of decoded rows, bounded by entry count and/or bytes.
 
     ``lookup`` promotes on hit and counts hits/misses; ``admit`` inserts
-    and evicts the least-recently-used entry past capacity.  Counters are
-    cumulative over the cache's lifetime (``clear`` drops entries, not
-    counters, so a batch update does not erase observed behavior).
+    and evicts least-recently-used entries past either bound.  Counters
+    are cumulative over the cache's lifetime (``clear`` drops entries,
+    not counters, so a batch update does not erase observed behavior).
+
+    Args:
+        max_entries: entry bound (0 = unbounded by entries; then
+            ``max_bytes`` must be set).
+        max_bytes: stored-byte bound (0 = unbounded by bytes).  When set,
+            admission is size-aware: a row larger than
+            :data:`MAX_ROW_BUDGET_FRACTION` of the budget is rejected
+            (counted in ``stats().rejected``) rather than admitted at the
+            cost of many smaller rows.
     """
 
-    def __init__(self, max_entries: int) -> None:
-        if max_entries < 1:
-            raise ValueError("DeltaCache needs capacity for at least 1 entry")
+    def __init__(self, max_entries: int, max_bytes: int = 0) -> None:
+        if max_entries < 0 or max_bytes < 0:
+            raise ValueError("cache bounds cannot be negative")
+        if max_entries == 0 and max_bytes == 0:
+            raise ValueError(
+                "DeltaCache needs at least one bound (entries or bytes)"
+            )
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self._rows: "OrderedDict[KeyTuple, CachedRow]" = OrderedDict()
+        self.bytes_cached = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.bytes_saved = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -87,19 +130,40 @@ class DeltaCache:
     def admit(
         self, key: KeyTuple, value: Any, stored_bytes: int, raw_bytes: int
     ) -> None:
-        if key in self._rows:
+        if (
+            self.max_bytes
+            and stored_bytes > self.max_bytes * MAX_ROW_BUDGET_FRACTION
+        ):
+            # size-aware admission: this one row would push out too much
+            # of the working set to be worth caching
+            self.rejected += 1
+            self.invalidate(key)
+            return
+        old = self._rows.get(key)
+        if old is not None:
+            self.bytes_cached -= old.stored_bytes
             self._rows.move_to_end(key)
         self._rows[key] = CachedRow(value, stored_bytes, raw_bytes)
-        while len(self._rows) > self.max_entries:
-            self._rows.popitem(last=False)
+        self.bytes_cached += stored_bytes
+        while self._over_budget():
+            _k, evicted = self._rows.popitem(last=False)
+            self.bytes_cached -= evicted.stored_bytes
             self.evictions += 1
 
+    def _over_budget(self) -> bool:
+        if self.max_entries and len(self._rows) > self.max_entries:
+            return True
+        return bool(self.max_bytes) and self.bytes_cached > self.max_bytes
+
     def invalidate(self, key: KeyTuple) -> None:
-        self._rows.pop(key, None)
+        row = self._rows.pop(key, None)
+        if row is not None:
+            self.bytes_cached -= row.stored_bytes
 
     def clear(self) -> None:
         """Drop all entries (counters are retained)."""
         self._rows.clear()
+        self.bytes_cached = 0
 
     def stats(self) -> CacheStats:
         return CacheStats(
@@ -109,6 +173,9 @@ class DeltaCache:
             bytes_saved=self.bytes_saved,
             entries=len(self._rows),
             max_entries=self.max_entries,
+            bytes_cached=self.bytes_cached,
+            max_bytes=self.max_bytes,
+            rejected=self.rejected,
         )
 
     def __repr__(self) -> str:
@@ -119,44 +186,246 @@ class DeltaCache:
         )
 
 
-class CacheRegistry:
-    """Process-wide pool of :class:`DeltaCache` objects keyed by index id.
+@dataclass(frozen=True)
+class CheckpointStats:
+    """Point-in-time counter snapshot for a checkpoint cache."""
 
-    The first consumer to ask for an index id creates the cache (with its
-    requested capacity); later consumers get the same object back — warm
-    rows and all — regardless of the capacity they ask for, so one stored
-    index never fragments into per-session caches.
+    hits: int
+    misses: int
+    evictions: int
+    entries: int
+    max_entries: int
+
+
+class _CheckpointEntry:
+    __slots__ = ("payload", "clone")
+
+    def __init__(self, payload: Any, clone: Callable[[Any], Any]) -> None:
+        self.payload = payload
+        self.clone = clone
+
+
+class StateCheckpointCache:
+    """LRU memo of fully-replayed states, returned copy-on-read.
+
+    The consumer (the TGI) keys entries by ``(timespan, partition, time,
+    scope flags)`` and supplies, at admit time, a *clone* function that
+    produces an independent copy of the payload; ``lookup`` returns
+    ``clone(payload)`` so the cached state can never be mutated through a
+    returned reference.  ``peek`` answers warmness without counters or
+    promotion — the planner uses it to price checkpoint-aware plans
+    without perturbing the cache.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError(
+                "StateCheckpointCache needs capacity for at least 1 entry"
+            )
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[KeyTuple, _CheckpointEntry]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: KeyTuple) -> bool:
+        return key in self._entries
+
+    def peek(self, key: KeyTuple) -> bool:
+        """Non-perturbing warmness probe (no promotion, no counters)."""
+        return key in self._entries
+
+    def lookup(self, key: KeyTuple) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry.clone(entry.payload)
+
+    def admit(
+        self, key: KeyTuple, payload: Any, clone: Callable[[Any], Any]
+    ) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = _CheckpointEntry(payload, clone)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: KeyTuple) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are retained)."""
+        self._entries.clear()
+
+    def stats(self) -> CheckpointStats:
+        return CheckpointStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._entries),
+            max_entries=self.max_entries,
+        )
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"<StateCheckpointCache {s.entries}/{s.max_entries} entries "
+            f"hits={s.hits} misses={s.misses}>"
+        )
+
+
+class CacheSlot:
+    """One index's shared caches inside the registry.
+
+    Either cache may be ``None`` when the first consumer asked for that
+    level to stay off; a later consumer asking for it creates it in place
+    (rows already warm in the other cache are unaffected).
     """
 
     def __init__(self) -> None:
-        self._caches: Dict[str, DeltaCache] = {}
+        self.delta: Optional[DeltaCache] = None
+        self.checkpoints: Optional[StateCheckpointCache] = None
+        self.refs = 0
+        self.expires_at: Optional[float] = None  # set while unreferenced
 
+
+class CacheRegistry:
+    """Process-wide pool of :class:`CacheSlot` objects keyed by index id.
+
+    The first consumer to ask for an index id creates the slot's caches
+    (with its requested capacities); later consumers get the same objects
+    back — warm rows and all — regardless of the capacity they ask for,
+    so one stored index never fragments into per-session caches.
+
+    Lifecycle: consumers that want the slot kept alive call
+    :meth:`acquire` and pair it with :meth:`release` (what
+    ``GraphSession.close()`` does).  When the last reference is released
+    the slot is dropped — immediately by default, or after ``ttl``
+    seconds when the registry was built with one, so a long-running
+    service keeps recently-used indexes warm across short-lived sessions
+    without holding every index it ever touched.
+    """
+
+    def __init__(
+        self,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = _time.monotonic,
+    ) -> None:
+        self.ttl = ttl
+        self.clock = clock
+        self._slots: Dict[str, CacheSlot] = {}
+
+    # ------------------------------------------------------------------
+    def _sweep(self) -> None:
+        """Drop unreferenced slots whose grace period expired."""
+        now = self.clock()
+        dead = [
+            index_id
+            for index_id, slot in self._slots.items()
+            if slot.refs <= 0
+            and slot.expires_at is not None
+            and slot.expires_at <= now
+        ]
+        for index_id in dead:
+            del self._slots[index_id]
+
+    def _slot(
+        self,
+        index_id: str,
+        delta_entries: int,
+        delta_bytes: int,
+        checkpoint_entries: int,
+    ) -> CacheSlot:
+        self._sweep()
+        slot = self._slots.get(index_id)
+        if slot is None:
+            slot = CacheSlot()
+            self._slots[index_id] = slot
+        if slot.delta is None and (delta_entries > 0 or delta_bytes > 0):
+            slot.delta = DeltaCache(delta_entries, delta_bytes)
+        if slot.checkpoints is None and checkpoint_entries > 0:
+            slot.checkpoints = StateCheckpointCache(checkpoint_entries)
+        return slot
+
+    def acquire(
+        self,
+        index_id: str,
+        delta_entries: int = 0,
+        delta_bytes: int = 0,
+        checkpoint_entries: int = 0,
+    ) -> CacheSlot:
+        """The shared slot for ``index_id``, reference-counted.
+
+        Pair with :meth:`release`; the caches requested here are created
+        on first use and shared verbatim with every other consumer."""
+        slot = self._slot(
+            index_id, delta_entries, delta_bytes, checkpoint_entries
+        )
+        slot.refs += 1
+        slot.expires_at = None
+        return slot
+
+    def release(self, index_id: str) -> None:
+        """Drop one reference; the last release discards the slot (after
+        the registry's TTL, when one is configured)."""
+        slot = self._slots.get(index_id)
+        if slot is None:
+            return
+        slot.refs -= 1
+        if slot.refs <= 0:
+            if self.ttl is None:
+                del self._slots[index_id]
+            else:
+                slot.expires_at = self.clock() + self.ttl
+        self._sweep()
+
+    # ------------------------------------------------------------------
+    # un-refcounted access (legacy consumers, tests, introspection)
+    # ------------------------------------------------------------------
     def get(self, index_id: str, max_entries: int) -> DeltaCache:
-        """The shared cache for ``index_id``, created on first use."""
-        cache = self._caches.get(index_id)
-        if cache is None:
-            cache = DeltaCache(max_entries)
-            self._caches[index_id] = cache
-        return cache
+        """The shared delta cache for ``index_id``, created on first use
+        (no reference counting — the slot lives until explicitly dropped
+        or TTL-swept after its ref-counted consumers close)."""
+        if max_entries < 1:
+            # fail loudly before creating a phantom slot: the historical
+            # contract of this accessor is a usable cache or a ValueError
+            raise ValueError(
+                "CacheRegistry.get needs capacity for at least 1 entry"
+            )
+        return self._slot(index_id, max_entries, 0, 0).delta
 
     def peek(self, index_id: str) -> Optional[DeltaCache]:
-        """The shared cache for ``index_id`` if one exists (no creation)."""
-        return self._caches.get(index_id)
+        """The shared delta cache for ``index_id`` if one exists."""
+        slot = self._slots.get(index_id)
+        return slot.delta if slot is not None else None
+
+    def peek_slot(self, index_id: str) -> Optional[CacheSlot]:
+        """The whole slot for ``index_id`` if one exists (no creation)."""
+        return self._slots.get(index_id)
 
     def drop(self, index_id: str) -> None:
-        """Forget one index's shared cache (e.g. the index was rebuilt)."""
-        self._caches.pop(index_id, None)
+        """Forget one index's shared caches (e.g. the index was rebuilt)."""
+        self._slots.pop(index_id, None)
 
     def clear(self) -> None:
         """Forget every shared cache (used by tests and benchmarks)."""
-        self._caches.clear()
+        self._slots.clear()
 
     def __len__(self) -> int:
-        return len(self._caches)
+        return len(self._slots)
 
     def __contains__(self, index_id: str) -> bool:
-        return index_id in self._caches
+        return index_id in self._slots
 
 
-#: The process-wide registry `GraphSession` shares warm rows through.
+#: The process-wide registry `GraphSession` shares warm state through.
 shared_caches = CacheRegistry()

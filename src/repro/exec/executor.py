@@ -9,7 +9,8 @@ partitions) contributed keys to a stage.
 Two execution modes:
 
 - :meth:`PlanExecutor.execute` runs one plan's stages strictly in
-  sequence; the plan's ``sim_time_ms`` is the sum of its rounds.
+  sequence; the plan's ``sim_time_ms`` is the sum of its rounds (plus the
+  apply cost of each stage, when the cost model prices apply work).
 - :meth:`PlanExecutor.execute_many` runs several *independent* plans
   pipelined: every round is released on a shared
   :class:`~repro.kvstore.cost.ExecutionTimeline` as soon as its own plan's
@@ -17,6 +18,17 @@ Two execution modes:
   plan's rounds and apply work, and factory stages of independent plans
   resolve interleaved — the simulated analogue of Cassandra's async client
   drivers.
+
+When the cost model carries nonzero apply constants
+(:attr:`~repro.kvstore.cost.CostModel.costs_apply`), each stage is charged
+a client-side *apply* cost — payload decode per fetched row plus replay
+per delta component / event — reported as ``FetchStats.apply_ms``.  In
+pipelined mode a stage's apply runs on a per-plan local lane of the shared
+timeline, released the instant the stage's payload arrived, so it overlaps
+the *next* fetch round of the same plan (resolving the next stage's keys
+needs only the decoded rows, not the fully replayed state) as well as the
+other plans' rounds.  With apply constants at 0 (the default) every number
+is bit-identical to fetch-only accounting.
 """
 
 from __future__ import annotations
@@ -28,6 +40,16 @@ from repro.exec.cache import DeltaCache
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, KeyTuple
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import ExecutionTimeline, FetchStats, RoundTiming
+
+
+def _replay_items(value: Any) -> int:
+    """How many components/events applying a decoded row replays: delta
+    cardinality or event count; 1 for opaque scalar rows (pointers)."""
+    try:
+        return len(value)
+    except TypeError:
+        events = getattr(value, "events", None)
+        return len(events) if events is not None else 1
 
 
 @dataclass
@@ -66,7 +88,8 @@ class _PlanCursor:
         self.result = PlanResult()
         self.pos = 0  # next entry in plan.stages
         self.ready_at = 0.0  # timeline instant the last round completed
-        self.standalone_ms = 0.0  # sequential cost of the rounds so far
+        self.apply_done = 0.0  # timeline instant the apply lane drains
+        self.standalone_ms = 0.0  # sequential cost (rounds + apply) so far
 
     @property
     def done(self) -> bool:
@@ -104,7 +127,10 @@ class PlanExecutor:
             if stage is None:
                 continue
             result.stages.append(stage)
-            self._run_stage(stage, clients, result)
+            _timing, apply_ms = self._run_stage(stage, clients, result)
+            # sequential execution replays each stage before fetching the
+            # next, so apply time adds to the completion time
+            result.stats.sim_time_ms += apply_ms
         return result
 
     def execute_many(
@@ -144,8 +170,9 @@ class PlanExecutor:
         total = FetchStats()
         for cursor in cursors:
             stats = cursor.result.stats
-            stats.overlap_saved_ms = cursor.standalone_ms - cursor.ready_at
-            stats.sim_time_ms = cursor.ready_at
+            done = max(cursor.ready_at, cursor.apply_done)
+            stats.overlap_saved_ms = cursor.standalone_ms - done
+            stats.sim_time_ms = done
             total.merge_concurrent(stats, timeline.makespan_ms)
         # per-plan attributions are signed and don't sum to the schedule-
         # level win; the aggregate reports the timeline's
@@ -181,13 +208,24 @@ class PlanExecutor:
         # driver does not queue one plan's requests behind another's on a
         # single synchronous fetcher (the shift never changes a round's
         # standalone cost)
-        timing = self._run_stage(
+        timing, apply_ms = self._run_stage(
             stage, clients, cursor.result, timeline, cursor.ready_at,
             client_offset=cursor.index * clients,
         )
         if timing is not None:
             cursor.ready_at = timing.completed_ms
             cursor.standalone_ms += timing.standalone_ms
+        if apply_ms > 0.0:
+            # the stage's replay runs on this plan's apply lane, released
+            # when its payload arrived: it overlaps the plan's next fetch
+            # round (key resolution needs only the decoded rows) and every
+            # other plan's in-flight work; the lane serializes one plan's
+            # apply stages against each other
+            work = timeline.submit_local(
+                apply_ms, at=cursor.ready_at, lane=f"plan-{cursor.index}"
+            )
+            cursor.apply_done = work.completed_ms
+            cursor.standalone_ms += apply_ms
 
     def _run_stage(
         self,
@@ -197,7 +235,13 @@ class PlanExecutor:
         timeline: Optional[ExecutionTimeline] = None,
         at: float = 0.0,
         client_offset: int = 0,
-    ) -> Optional[RoundTiming]:
+    ) -> Tuple[Optional[RoundTiming], float]:
+        """Run one stage; returns the store round's timing (``None`` when
+        every key was served locally or no timeline is in use) and the
+        stage's client-side apply cost (0 under a fetch-only model)."""
+        model = self.cluster.config.cost_model
+        costed = model.costs_apply
+        apply_ms = 0.0
         keys = stage.keys()
         missing: List[KeyTuple] = []
         if self.cache is None:
@@ -211,15 +255,28 @@ class PlanExecutor:
                     result.values[key] = row.value
                     result.stats.cache_hits += 1
                     result.stats.cache_bytes_saved += row.stored_bytes
+                    if costed:
+                        # cached rows are already decoded; replay remains
+                        apply_ms += model.apply_time(
+                            row.raw_bytes, _replay_items(row.value),
+                            decoded=True,
+                        )
             result.stats.cache_misses += len(missing)
         if not missing:
-            return None
+            result.stats.apply_ms += apply_ms
+            return None, apply_ms
         values, stats = self.cluster.multiget(
             missing, clients=clients, timeline=timeline, at=at,
             client_offset=client_offset,
         )
         result.values.update(values)
         result.stats.merge(stats)
+        if costed:
+            for record in stats.requests:
+                apply_ms += model.apply_time(
+                    record.raw_bytes, _replay_items(values[record.key])
+                )
+        result.stats.apply_ms += apply_ms
         if self.cache is not None:
             for record in stats.requests:
                 self.cache.admit(
@@ -228,4 +285,7 @@ class PlanExecutor:
                     record.stored_bytes,
                     record.raw_bytes,
                 )
-        return timeline.rounds[-1] if timeline is not None else None
+        return (
+            timeline.rounds[-1] if timeline is not None else None,
+            apply_ms,
+        )

@@ -141,6 +141,19 @@ class Graph:
         kind = "directed" if self.directed else "undirected"
         return f"<Graph {kind} n={self.num_nodes} m={self.num_edges}>"
 
+    def copy(self) -> "Graph":
+        """Structural copy: independent node/adjacency/edge containers and
+        attribute maps.  Attribute *values* are shared — the event replay
+        treats them as immutable (replaced, never mutated in place), so a
+        copy can never observe changes through them.  Much faster than
+        ``copy.deepcopy`` for the materialized-snapshot checkpoint path.
+        """
+        g = Graph(directed=self.directed)
+        g._nodes = {n: dict(a) for n, a in self._nodes.items()}
+        g._adj = {n: set(s) for n, s in self._adj.items()}
+        g._edge_attrs = {e: dict(a) for e, a in self._edge_attrs.items()}
+        return g
+
     # ------------------------------------------------------------------
     # event application
     # ------------------------------------------------------------------

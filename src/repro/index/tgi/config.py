@@ -43,16 +43,26 @@ class TGIConfig:
         collapse: time-collapse function Ω for dynamic partitioning.
         node_weighting: node-weight option for dynamic partitioning.
         delta_cache_entries: capacity of the query manager's LRU cache of
-            decoded rows (0 disables caching, reproducing uncached fetch
-            counts exactly; cached fetches report hit/miss counters in
-            their ``FetchStats``).
+            decoded rows (0 disables entry-bounded caching, reproducing
+            uncached fetch counts exactly; cached fetches report hit/miss
+            counters in their ``FetchStats``).
+        delta_cache_bytes: stored-byte bound for the same cache (0 = no
+            byte bound).  When set, admission is size-aware: one huge
+            root-snapshot row is refused rather than evicting many small
+            micro-delta rows.  Either bound alone enables caching.
+        checkpoint_entries: capacity of the materialized-state checkpoint
+            cache — fully-replayed partition states / snapshot graphs
+            keyed ``(timespan, partition, time)``, seeded copy-on-read so
+            warm queries skip the delta/event replay entirely (0 disables
+            checkpoints, reproducing replay-from-root accounting exactly).
         pipeline: overlap independent fetch plans on a shared execution
             timeline (modeling Cassandra's async client drivers) and let
             the TAF handler drive whole analytics chunks through the
             batched paths — the shared-frontier SoTS fetch and the
-            one-``execute_many`` SoN history fetch.  Off by default so
-            fetch accounting reproduces the strictly sequential
-            per-center schedule exactly.
+            one-``execute_many`` SoN history fetch.  On by default (the
+            figure benches were re-validated against the overlapped cost
+            model); build with ``--no-pipeline`` / ``pipeline=False`` to
+            reproduce the strictly sequential per-center schedule.
         cluster: shape of the backing key-value cluster (``m``, ``r``,
             compression, cost model).
     """
@@ -67,7 +77,9 @@ class TGIConfig:
     collapse: CollapseFunction = CollapseFunction.UNION_MAX
     node_weighting: NodeWeighting = NodeWeighting.UNIFORM
     delta_cache_entries: int = 0
-    pipeline: bool = False
+    delta_cache_bytes: int = 0
+    checkpoint_entries: int = 0
+    pipeline: bool = True
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def __post_init__(self) -> None:
@@ -87,3 +99,7 @@ class TGIConfig:
             raise IndexError_("placement_groups must be positive")
         if self.delta_cache_entries < 0:
             raise IndexError_("delta_cache_entries cannot be negative")
+        if self.delta_cache_bytes < 0:
+            raise IndexError_("delta_cache_bytes cannot be negative")
+        if self.checkpoint_entries < 0:
+            raise IndexError_("checkpoint_entries cannot be negative")

@@ -23,6 +23,19 @@ groups — and the shared :class:`~repro.exec.executor.PlanExecutor`
 coalesces each stage into one ``multiget`` round, optionally short-
 circuiting repeated rows through the index's
 :class:`~repro.exec.cache.DeltaCache`.
+
+With ``TGIConfig.checkpoint_entries`` set, the index additionally
+memoizes *fully-replayed* states in a
+:class:`~repro.exec.cache.StateCheckpointCache`: per-partition partial
+states keyed ``(timespan, partition, time, aux)`` and whole snapshot
+graphs keyed ``(timespan, time)``.  Warm queries seed their replay from
+the nearest checkpoint (copy-on-read) instead of re-fetching and
+re-applying the root deltas — GraphPool's overlap-sharing of materialized
+states ("Efficient Snapshot Retrieval over Historical Graph Data"),
+applied at micro-partition granularity.  Seeding is exact because the
+build writes every event into the eventlist of *each* partition it
+touches, so a partition's primary (or primary+aux) replay is
+self-contained.
 """
 
 from __future__ import annotations
@@ -33,7 +46,14 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.deltas.base import Delta, StaticNode
 from repro.deltas.eventlist import EventList
 from repro.errors import IndexError_, TimeRangeError
-from repro.exec import DeltaCache, FetchPlan, FetchStage, KeyGroup, PlanExecutor
+from repro.exec import (
+    DeltaCache,
+    FetchPlan,
+    FetchStage,
+    KeyGroup,
+    PlanExecutor,
+    StateCheckpointCache,
+)
 from repro.graph.events import Event
 from repro.graph.static import Graph
 from repro.index.interface import HistoricalGraphIndex, NodeHistory
@@ -57,6 +77,30 @@ from repro.kvstore.cost import FetchStats
 from repro.partitioning.temporal import timespan_boundaries
 from repro.types import NodeId, TimePoint
 
+#: Checkpoint payload for a replayed partition: (node states, edge attrs).
+StatePayload = Tuple[Dict[NodeId, StaticNode], Dict[Tuple, dict]]
+
+
+def _clone_state(payload: StatePayload) -> StatePayload:
+    """Copy-on-read for partition-state checkpoints: node states are
+    immutable (fresh :class:`StaticNode` per evolution), so a shallow dict
+    copy suffices; edge-attribute dicts are mutated in place by
+    ``EDGE_ATTR_SET`` replay, so each gets its own copy."""
+    nodes, edges = payload
+    return dict(nodes), {eid: dict(attrs) for eid, attrs in edges.items()}
+
+
+def _state_key(
+    tsid: int, pid: int, t: TimePoint, include_aux: bool
+) -> Tuple:
+    """Checkpoint key of one partition's fully-replayed state at ``t``."""
+    return ("pids", tsid, pid, t, include_aux)
+
+
+def _snapshot_ckpt_key(tsid: int, t: TimePoint) -> Tuple:
+    """Checkpoint key of a whole materialized snapshot graph at ``t``."""
+    return ("snapshot", tsid, t)
+
 
 class TGI(HistoricalGraphIndex):
     """Temporal Graph Index over the simulated key-value cluster."""
@@ -66,8 +110,19 @@ class TGI(HistoricalGraphIndex):
         self.config = config or TGIConfig()
         self.cluster = Cluster(self.config.cluster)
         self.delta_cache = (
-            DeltaCache(self.config.delta_cache_entries)
-            if self.config.delta_cache_entries > 0
+            DeltaCache(
+                self.config.delta_cache_entries,
+                self.config.delta_cache_bytes,
+            )
+            if (
+                self.config.delta_cache_entries > 0
+                or self.config.delta_cache_bytes > 0
+            )
+            else None
+        )
+        self.checkpoints = (
+            StateCheckpointCache(self.config.checkpoint_entries)
+            if self.config.checkpoint_entries > 0
             else None
         )
         self.executor = PlanExecutor(self.cluster, self.delta_cache)
@@ -126,6 +181,10 @@ class TGI(HistoricalGraphIndex):
             # version-chain rows are rewritten by flush(); drop every
             # cached row rather than track which chains changed
             self.delta_cache.clear()
+        # materialized-state checkpoints stay warm: timespans are
+        # append-only, so a state replayed inside an existing span can
+        # never be invalidated by new events (which land in new spans),
+        # and checkpoints never include version-chain data
 
     # ------------------------------------------------------------------
     # span / time navigation
@@ -222,6 +281,12 @@ class TGI(HistoricalGraphIndex):
 
     def get_snapshot(self, t: TimePoint, clients: int = 1) -> Graph:
         span = self._span_at(t)
+        if self.checkpoints is not None:
+            cached = self.checkpoints.lookup(_snapshot_ckpt_key(span.tsid, t))
+            if cached is not None:
+                stats = FetchStats(checkpoint_hits=1)
+                self.last_fetch_stats = stats
+                return cached
         plan = FetchPlan(f"snapshot(t={t})")
         stage, path_groups, ekeys = self._snapshot_stage(span, t, "snapshot")
         plan.stages.append(stage)
@@ -240,6 +305,13 @@ class TGI(HistoricalGraphIndex):
             if ev.time <= t
         )
         g.apply_events(events)
+        if self.checkpoints is not None:
+            result.stats.checkpoint_misses += 1
+            # the cached graph is private (structural copy), as is every
+            # graph a later hit returns — callers may mutate theirs
+            self.checkpoints.admit(
+                _snapshot_ckpt_key(span.tsid, t), g.copy(), Graph.copy
+            )
         return g
 
     # ------------------------------------------------------------------
@@ -258,6 +330,55 @@ class TGI(HistoricalGraphIndex):
                 scope |= set(span.boundary.get(pid, frozenset()))
         return scope
 
+    def _replay_pid(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+        values: Dict[DeltaKey, object],
+        plan: Optional[Tuple[List[List[DeltaKey]], List[DeltaKey]]] = None,
+    ) -> PartialState:
+        """Replay one partition's state at ``t`` from fetched rows and
+        admit it as a materialized-state checkpoint.  ``plan`` takes the
+        partition's already-computed ``(path_groups, ekeys)`` when the
+        caller has them, avoiding a second tree-path walk."""
+        path_groups, ekeys = plan if plan is not None else (
+            self._snapshot_plan(span, t, pids={pid}, include_aux=include_aux)
+        )
+        state = PartialState(
+            scope=self._pid_scope(span, {pid}, include_aux)
+        )
+        for group in path_groups:
+            for key in group:
+                state.load_delta(values[key])
+        state.apply_events(
+            dedup_sorted(
+                ev for key in ekeys for ev in values[key] if ev.time <= t
+            )
+        )
+        if self.checkpoints is not None:
+            # store a private copy: the caller's merged state shares the
+            # replayed dicts and may keep evolving them
+            self.checkpoints.admit(
+                _state_key(span.tsid, pid, t, include_aux),
+                _clone_state((state.nodes, state.edge_attrs)),
+                _clone_state,
+            )
+        return state
+
+    @staticmethod
+    def _merge_state(
+        target: PartialState, nodes: Dict[NodeId, StaticNode],
+        edge_attrs: Dict[Tuple, dict],
+    ) -> None:
+        """Fold one partition's replayed state into a merged view (first
+        load wins — boundary-replicated duplicates carry equal states)."""
+        for n, s in nodes.items():
+            target.nodes.setdefault(n, s)
+        for e, a in edge_attrs.items():
+            target.edge_attrs.setdefault(e, a)
+
     def _load_pids(
         self,
         span: TimespanInfo,
@@ -268,23 +389,57 @@ class TGI(HistoricalGraphIndex):
     ) -> Tuple[PartialState, Set[NodeId], FetchStats]:
         """Reconstruct the states, at time ``t``, of all nodes covered by
         ``pids`` (members plus boundary when ``include_aux``).  Returns the
-        partial state, the covered scope, and the fetch stats."""
+        partial state, the covered scope, and the fetch stats.
+
+        With checkpoints enabled, warm partitions are seeded from their
+        memoized states and only the cold ones are fetched and replayed
+        (then admitted); replay is per partition, which is exact because
+        each partition's eventlists carry every event touching it."""
         scope = self._pid_scope(span, pids, include_aux)
-        plan = FetchPlan(f"load_pids({sorted(pids)}, t={t})")
-        stage, path_groups, ekeys = self._snapshot_stage(
-            span, t, "partial-state", pids=pids, include_aux=include_aux
+        if self.checkpoints is None:
+            plan = FetchPlan(f"load_pids({sorted(pids)}, t={t})")
+            stage, path_groups, ekeys = self._snapshot_stage(
+                span, t, "partial-state", pids=pids, include_aux=include_aux
+            )
+            plan.stages.append(stage)
+            result = self.executor.execute(plan, clients=clients)
+            values, stats = result.values, result.stats
+            state = PartialState(scope=scope)
+            for group in path_groups:
+                for key in group:
+                    state.load_delta(values[key])
+            events = dedup_sorted(
+                ev for key in ekeys for ev in values[key] if ev.time <= t
+            )
+            state.apply_events(events)
+            return state, scope, stats
+
+        state = PartialState(scope=scope)
+        hits = 0
+        cold: Set[int] = set()
+        for pid in sorted(pids):
+            payload = self.checkpoints.lookup(
+                _state_key(span.tsid, pid, t, include_aux)
+            )
+            if payload is None:
+                cold.add(pid)
+            else:
+                hits += 1
+                self._merge_state(state, *payload)
+        plan = FetchPlan(f"load_pids({sorted(cold)}, t={t})")
+        stage, _path_groups, _ekeys = self._snapshot_stage(
+            span, t, "partial-state", pids=cold, include_aux=include_aux
         )
         plan.stages.append(stage)
         result = self.executor.execute(plan, clients=clients)
-        values, stats = result.values, result.stats
-        state = PartialState(scope=scope)
-        for group in path_groups:
-            for key in group:
-                state.load_delta(values[key])
-        events = dedup_sorted(
-            ev for key in ekeys for ev in values[key] if ev.time <= t
-        )
-        state.apply_events(events)
+        for pid in sorted(cold):
+            replayed = self._replay_pid(
+                span, pid, t, include_aux, result.values
+            )
+            self._merge_state(state, replayed.nodes, replayed.edge_attrs)
+        stats = result.stats
+        stats.checkpoint_hits += hits
+        stats.checkpoint_misses += len(cold)
         return state, scope, stats
 
     # ------------------------------------------------------------------
@@ -315,35 +470,62 @@ class TGI(HistoricalGraphIndex):
         if not nodes:
             self.last_fetch_stats = FetchStats()
             return []
-        plan, finalize = self._node_histories_plan(nodes, ts, te)
+        plan, finalize, ckpt = self._node_histories_plan(nodes, ts, te)
         result = self.executor.execute(plan, clients=clients)
         out = finalize(result.values)
+        result.stats.checkpoint_hits += ckpt["hits"]
+        result.stats.checkpoint_misses += ckpt["misses"]
         self.last_fetch_stats = result.stats
         return out
 
     def _node_histories_plan(
         self, nodes: Sequence[NodeId], ts: TimePoint, te: TimePoint
-    ) -> Tuple[FetchPlan, "Callable[[Dict[DeltaKey, object]], List[NodeHistory]]"]:
+    ) -> Tuple[
+        FetchPlan,
+        "Callable[[Dict[DeltaKey, object]], List[NodeHistory]]",
+        Dict[str, int],
+    ]:
         """Build the batched Algorithm-2 plan for ``nodes`` plus a
         finalizer that maps the executed plan's values back to one
         :class:`NodeHistory` per input node (input order, duplicates
         preserved).  Splitting plan from finalizer lets callers compose
         several history levels — and other plans — into one pipelined
-        execution."""
+        execution.  The third element counts the checkpoint hits/misses
+        the plan resolved at build time (warm partitions contribute no
+        fetch keys — their initial states come from the memoized replay);
+        callers fold it into their fetch stats."""
         span = self._span_at(ts)
         ns = self.config.placement_groups
+        ckpt = {"hits": 0, "misses": 0}
 
-        # metadata-only planning: one micro plan per distinct partition
+        # metadata-only planning: one micro plan per distinct partition;
+        # checkpointed partitions seed their replayed state instead (the
+        # payload is captured now — a later eviction must not strand us
+        # after the fetch keys were already dropped from the plan)
         node_pid: Dict[NodeId, Optional[int]] = {}
         pid_plans: Dict[int, Tuple[List[List[DeltaKey]], List[DeltaKey]]] = {}
+        seeded: Dict[int, StatePayload] = {}
         chain_nodes: List[NodeId] = []
         for node in nodes:
             if node in node_pid:
                 continue
             pid = span.pid_of(node)
             node_pid[node] = pid
-            if pid is not None and pid not in pid_plans:
-                pid_plans[pid] = self._snapshot_plan(span, ts, pids={pid})
+            if pid is not None and pid not in pid_plans and pid not in seeded:
+                payload = (
+                    self.checkpoints.lookup(
+                        _state_key(span.tsid, pid, ts, False)
+                    )
+                    if self.checkpoints is not None
+                    else None
+                )
+                if payload is not None:
+                    seeded[pid] = payload
+                    ckpt["hits"] += 1
+                else:
+                    if self.checkpoints is not None:
+                        ckpt["misses"] += 1
+                    pid_plans[pid] = self._snapshot_plan(span, ts, pids={pid})
             if self._vc.has_chain(node):
                 chain_nodes.append(node)
 
@@ -400,17 +582,30 @@ class TGI(HistoricalGraphIndex):
                 if pid is not None:
                     by_pid.setdefault(pid, []).append(node)
             for pid, members in by_pid.items():
-                path_groups, ekeys = pid_plans[pid]
-                state = PartialState(scope=set(members))
-                for group in path_groups:
-                    for key in group:
-                        state.load_delta(values[key])
-                state.apply_events(
-                    dedup_sorted(
-                        ev for key in ekeys for ev in values[key]
-                        if ev.time <= ts
+                if pid in seeded:
+                    nodes_map, _edges = seeded[pid]
+                    for node in members:
+                        initial[node] = nodes_map.get(node)
+                    continue
+                if self.checkpoints is not None:
+                    # replay the whole partition (not just the queried
+                    # members) so the admitted checkpoint serves any
+                    # later query over this partition
+                    state = self._replay_pid(
+                        span, pid, ts, False, values, plan=pid_plans[pid]
                     )
-                )
+                else:
+                    path_groups, ekeys = pid_plans[pid]
+                    state = PartialState(scope=set(members))
+                    for group in path_groups:
+                        for key in group:
+                            state.load_delta(values[key])
+                    state.apply_events(
+                        dedup_sorted(
+                            ev for key in ekeys for ev in values[key]
+                            if ev.time <= ts
+                        )
+                    )
                 for node in members:
                     initial[node] = state.node_state(node)
 
@@ -431,7 +626,7 @@ class TGI(HistoricalGraphIndex):
                 )
             return [histories[node] for node in nodes]
 
-        return plan, finalize
+        return plan, finalize, ckpt
 
     # ------------------------------------------------------------------
     # k-hop neighborhood (Algorithms 3 and 4)
@@ -517,15 +712,21 @@ class TGI(HistoricalGraphIndex):
         if not centers:
             self.last_fetch_stats = FetchStats()
             return []
-        plan, finalize = self._khops_plan(centers, t, k)
+        plan, finalize, ckpt = self._khops_plan(centers, t, k)
         result = self.executor.execute(plan, clients=clients)
         out = finalize(result.values)
+        result.stats.checkpoint_hits += ckpt["hits"]
+        result.stats.checkpoint_misses += ckpt["misses"]
         self.last_fetch_stats = result.stats
         return out
 
     def _khops_plan(
         self, centers: Sequence[NodeId], t: TimePoint, k: int
-    ) -> Tuple[FetchPlan, "Callable[[Dict[DeltaKey, object]], List[Optional[Graph]]]"]:
+    ) -> Tuple[
+        FetchPlan,
+        "Callable[[Dict[DeltaKey, object]], List[Optional[Graph]]]",
+        Dict[str, int],
+    ]:
         """Build the shared-frontier k-hop plan plus a finalizer mapping
         the executed values to one graph per input center.
 
@@ -533,18 +734,27 @@ class TGI(HistoricalGraphIndex):
         ``k`` factory stages; factory ``h`` applies the rows hop ``h - 1``
         fetched, advances every center's frontier, and emits one stage
         with the union of the still-missing micro-partition keys across
-        all centers."""
+        all centers.  Checkpointed partitions are seeded directly into the
+        merged state and never reach the plan; the returned counter dict
+        records those hits (and the cold misses) for the caller's stats."""
         span = self._span_at(t)
         include_aux = self.config.replicate_boundary
         order = list(dict.fromkeys(centers))
         alive0 = [c for c in order if span.pid_of(c) is not None]
         plan = FetchPlan(f"khops({len(order)} centers, t={t}, k={k})")
+        ckpt = {"hits": 0, "misses": 0}
 
         merged = PartialState()
         covered: Set[NodeId] = set()
         loaded: Set[int] = set()
-        # stages fetched but not yet folded into `merged`
-        pending: List[Tuple[List[List[DeltaKey]], List[DeltaKey], Set[NodeId]]] = []
+        # partitions fetched but not yet folded into `merged`: the
+        # stage's combined (path_groups, ekeys) — or (None, None) in
+        # checkpoint mode, where settle replays per partition — plus the
+        # fetched pid set and its covered scope
+        pending: List[Tuple[
+            Optional[List[List[DeltaKey]]], Optional[List[DeltaKey]],
+            Set[int], Set[NodeId],
+        ]] = []
         members: Dict[NodeId, Set[NodeId]] = {}
         frontier: Dict[NodeId, Set[NodeId]] = {}
         # per center, frontier candidates awaiting the alive-at-t filter
@@ -556,13 +766,36 @@ class TGI(HistoricalGraphIndex):
             pids = pids - loaded
             if not pids:
                 return None
+            if self.checkpoints is not None:
+                cold: Set[int] = set()
+                for pid in sorted(pids):
+                    payload = self.checkpoints.lookup(
+                        _state_key(span.tsid, pid, t, include_aux)
+                    )
+                    if payload is None:
+                        cold.add(pid)
+                        ckpt["misses"] += 1
+                    else:
+                        # seed the memoized state now; covered/merged are
+                        # ready before the next frontier advance
+                        ckpt["hits"] += 1
+                        loaded.add(pid)
+                        covered.update(
+                            self._pid_scope(span, {pid}, include_aux)
+                        )
+                        self._merge_state(merged, *payload)
+                pids = cold
+                if not pids:
+                    return None
             stage, path_groups, ekeys = self._snapshot_stage(
                 span, t, f"khop-frontier-{hop[0]}", pids=pids,
                 include_aux=include_aux,
             )
             loaded.update(pids)
+            if self.checkpoints is not None:
+                path_groups, ekeys = None, None
             pending.append(
-                (path_groups, ekeys,
+                (path_groups, ekeys, set(pids),
                  self._pid_scope(span, pids, include_aux))
             )
             return stage
@@ -571,7 +804,19 @@ class TGI(HistoricalGraphIndex):
             """Fold fetched rows into the merged state, then resolve which
             of the last hop's candidates are alive at ``t``."""
             while pending:
-                path_groups, ekeys, scope = pending.pop(0)
+                path_groups, ekeys, pids, scope = pending.pop(0)
+                if path_groups is None:
+                    # checkpoint mode: per-partition replay, so each cold
+                    # partition's state is admitted as a checkpoint
+                    for pid in sorted(pids):
+                        state = self._replay_pid(
+                            span, pid, t, include_aux, values
+                        )
+                        self._merge_state(
+                            merged, state.nodes, state.edge_attrs
+                        )
+                    covered.update(scope)
+                    continue
                 state = PartialState(scope=scope)
                 for group in path_groups:
                     for key in group:
@@ -583,10 +828,7 @@ class TGI(HistoricalGraphIndex):
                     )
                 )
                 covered.update(scope)
-                for n, s in state.nodes.items():
-                    merged.nodes.setdefault(n, s)
-                for e, a in state.edge_attrs.items():
-                    merged.edge_attrs.setdefault(e, a)
+                self._merge_state(merged, state.nodes, state.edge_attrs)
             if not started[0]:
                 started[0] = True
                 for c in alive0:
@@ -635,7 +877,7 @@ class TGI(HistoricalGraphIndex):
             }
             return [graphs.get(c) for c in centers]
 
-        return plan, finalize
+        return plan, finalize, ckpt
 
     def get_khop_snapshot_first(
         self, node: NodeId, t: TimePoint, k: int = 1, clients: int = 1

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import IndexError_
+from repro.index.tgi.index import _snapshot_ckpt_key, _state_key
 from repro.index.tgi.layout import DeltaKey, version_chain_key
 from repro.kvstore.cost import simulate_plan
 from repro.types import NodeId, TimePoint
@@ -44,10 +45,15 @@ class PlanStep:
 
 @dataclass
 class QueryPlan:
-    """An inspectable retrieval plan."""
+    """An inspectable retrieval plan.
+
+    ``notes`` carries planner remarks that are not key groups — e.g. how
+    many partitions a warm :class:`~repro.exec.cache.StateCheckpointCache`
+    seeds without fetching."""
 
     query: str
     steps: List[PlanStep] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
 
     @property
     def num_keys(self) -> int:
@@ -70,6 +76,8 @@ class QueryPlan:
             if step.keys:
                 suffix = ", ..." if step.num_keys > 3 else ""
                 lines.append(f"      {preview}{suffix}")
+        for note in self.notes:
+            lines.append(f"  note: {note}")
         return "\n".join(lines)
 
 
@@ -84,10 +92,21 @@ def price_plan(cluster, plan: Union[QueryPlan, Sequence[DeltaKey]],
     client/server bound.  Plans whose chained steps force extra rounds are
     priced slightly low (round boundaries don't change total service
     time, only add latency), which is fine for *comparing* candidates.
+
+    When the cost model prices client-side apply work, the estimate also
+    charges each key's decode-plus-replay time (replay volume proxied
+    from the raw payload size, since nothing has been decoded yet), so
+    candidate comparison sees the same apply costs execution will report.
     """
     keys = plan.all_keys() if isinstance(plan, QueryPlan) else list(plan)
     records = cluster.plan_records(keys, clients=clients)
-    return simulate_plan(records, cluster.config.cost_model)
+    model = cluster.config.cost_model
+    estimate = simulate_plan(records, model)
+    if model.costs_apply:
+        estimate += sum(
+            model.estimated_apply_time(r.raw_bytes) for r in records
+        )
+    return estimate
 
 
 class TGIPlanner:
@@ -97,11 +116,34 @@ class TGIPlanner:
         self.tgi = tgi
 
     # ------------------------------------------------------------------
+    def _warm_pids(
+        self, span, pids: Set[int], t: TimePoint, include_aux: bool
+    ) -> Set[int]:
+        """Partitions whose replayed state at ``t`` is checkpointed (a
+        non-perturbing probe — pricing must not touch hit counters)."""
+        cp = self.tgi.checkpoints
+        if cp is None:
+            return set()
+        return {
+            pid for pid in pids
+            if cp.peek(_state_key(span.tsid, pid, t, include_aux))
+        }
+
     def plan_snapshot(self, t: TimePoint) -> QueryPlan:
-        """Plan Algorithm 1 (GetSnapshot)."""
+        """Plan Algorithm 1 (GetSnapshot).
+
+        A warm materialized-snapshot checkpoint answers the query without
+        any fetch, so the plan prices (near) zero — which is exactly what
+        cost-based selection should see for the warm path."""
         span = self.tgi._span_at(t)
-        path_groups, ekeys = self.tgi._snapshot_plan(span, t)
         plan = QueryPlan(query=f"snapshot(t={t})")
+        cp = self.tgi.checkpoints
+        if cp is not None and cp.peek(_snapshot_ckpt_key(span.tsid, t)):
+            plan.notes.append(
+                "materialized snapshot checkpoint is warm: no fetch"
+            )
+            return plan
+        path_groups, ekeys = self.tgi._snapshot_plan(span, t)
         path_keys = tuple(k for group in path_groups for k in group)
         plan.steps.append(PlanStep("derived-snapshot path", path_keys))
         plan.steps.append(PlanStep("trailing eventlists", tuple(ekeys)))
@@ -116,15 +158,22 @@ class TGIPlanner:
         plan = QueryPlan(query=f"node_history(node={node}, ts={ts}, te={te})")
         pid = span.pid_of(node)
         if pid is not None:
-            path_groups, ekeys = self.tgi._snapshot_plan(span, ts, pids={pid})
-            plan.steps.append(
-                PlanStep(
-                    "targeted micro path",
-                    tuple(k for group in path_groups for k in group),
+            if self._warm_pids(span, {pid}, ts, False):
+                plan.notes.append(
+                    "initial state checkpoint-seeded (1 partition)"
                 )
-            )
-            plan.steps.append(PlanStep("initial-state eventlists",
-                                       tuple(ekeys)))
+            else:
+                path_groups, ekeys = self.tgi._snapshot_plan(
+                    span, ts, pids={pid}
+                )
+                plan.steps.append(
+                    PlanStep(
+                        "targeted micro path",
+                        tuple(k for group in path_groups for k in group),
+                    )
+                )
+                plan.steps.append(PlanStep("initial-state eventlists",
+                                           tuple(ekeys)))
         if node in self.tgi._vc._flushed:
             plan.steps.append(
                 PlanStep(
@@ -170,6 +219,17 @@ class TGIPlanner:
                 PlanStep(purpose, tuple(merged[(purpose, chained)]),
                          chained=chained)
             )
+        if self.tgi.checkpoints is not None and nodes:
+            span = self.tgi._span_at(ts)
+            pids = {
+                span.pid_of(n) for n in dict.fromkeys(nodes)
+            } - {None}
+            warm = self._warm_pids(span, pids, ts, False)
+            if warm:
+                plan.notes.append(
+                    f"initial states checkpoint-seeded "
+                    f"({len(warm)} partitions)"
+                )
         return plan
 
     def plan_khop(self, node: NodeId, t: TimePoint, k: int = 1) -> QueryPlan:
@@ -211,6 +271,12 @@ class TGIPlanner:
             # only safe bound is every partition present in the span — the
             # actual fetch loads lazily and typically touches far fewer
             pids = set(range(span.num_pids))
+        warm = self._warm_pids(span, pids, t, include_aux)
+        if warm:
+            pids = pids - warm
+            plan.notes.append(
+                f"{len(warm)} partitions checkpoint-seeded"
+            )
         path_groups, ekeys = self.tgi._snapshot_plan(
             span, t, pids=pids, include_aux=include_aux
         )
@@ -252,6 +318,9 @@ class TGIPlanner:
                     if key not in seen:
                         seen.add(key)
                         bucket.append(key)
+            for note in sub.notes:
+                if note not in plan.notes:
+                    plan.notes.append(note)
         for purpose, keys in merged.items():
             plan.steps.append(PlanStep(purpose, tuple(keys)))
         return plan

@@ -11,7 +11,14 @@ effects the paper's figures exhibit:
   item 5);
 - a per-kilobyte transfer/deserialization cost;
 - a per-request network round-trip paid by the client;
-- a small per-kilobyte CPU cost for decompressing compressed payloads.
+- a small per-kilobyte CPU cost for decompressing compressed payloads;
+- optionally, a *client-side apply* cost: decoding a fetched payload and
+  replaying its delta components / events into query state.  The paper's
+  cost analysis counts only store-side fetch time; the apply constants
+  default to 0 so default accounting reproduces that exactly, but setting
+  them exposes where warm-cache retrievals actually spend their time —
+  Python replay, not the wire (GraphPool's observation in "Efficient
+  Snapshot Retrieval over Historical Graph Data").
 
 Completion time of a fetch plan is the maximum of the per-client busy
 times and the per-server busy times — the classic two-sided bound that
@@ -33,6 +40,12 @@ from typing import Dict, List, Optional, Tuple
 
 KeyTuple = Tuple
 
+#: Calibrated opt-in apply constants (CLI ``--apply-cost``, benches):
+#: sized so that replaying a micro-delta costs the same order as fetching
+#: it, which is where profiled warm-path wall time actually goes.
+DEFAULT_APPLY_PER_KB_MS = 0.10
+DEFAULT_REPLAY_PER_ITEM_MS = 0.01
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -51,6 +64,53 @@ class CostModel:
     rtt_ms: float = 0.10
     decompress_per_kb_ms: float = 0.05
     deserialize_per_kb_ms: float = 0.15
+    #: Client-side decode cost per raw KiB of payload (0 = apply uncosted,
+    #: reproducing the store-side-only accounting of the paper).
+    apply_per_kb_ms: float = 0.0
+    #: Client-side replay cost per delta component / event applied.
+    replay_per_item_ms: float = 0.0
+    #: Planning proxy: expected replay items per raw KiB, used to estimate
+    #: apply cost before any payload has been decoded (EXPLAIN / pricing).
+    replay_items_per_kb: float = 3.0
+
+    @property
+    def costs_apply(self) -> bool:
+        """Whether client-side apply work carries any simulated cost."""
+        return self.apply_per_kb_ms > 0.0 or self.replay_per_item_ms > 0.0
+
+    def with_apply(
+        self,
+        apply_per_kb_ms: float = DEFAULT_APPLY_PER_KB_MS,
+        replay_per_item_ms: float = DEFAULT_REPLAY_PER_ITEM_MS,
+    ) -> "CostModel":
+        """This model with client-side apply costing switched on."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            apply_per_kb_ms=apply_per_kb_ms,
+            replay_per_item_ms=replay_per_item_ms,
+        )
+
+    def apply_time(
+        self, raw_bytes: int, replay_items: int, decoded: bool = False
+    ) -> float:
+        """Client-side time to decode one payload and replay its items.
+
+        ``decoded`` marks rows served from a decoded-row cache, which skip
+        the decode term but still pay the replay term."""
+        time = 0.0
+        if not decoded:
+            time += (raw_bytes / 1024.0) * self.apply_per_kb_ms
+        return time + replay_items * self.replay_per_item_ms
+
+    def estimated_apply_time(self, raw_bytes: int) -> float:
+        """Metadata-only apply estimate for pricing: the decode term plus
+        the replay term proxied via :attr:`replay_items_per_kb`."""
+        kb = raw_bytes / 1024.0
+        return self.apply_time(
+            raw_bytes, round(kb * self.replay_items_per_kb)
+        )
 
     def service_time(
         self, stored_bytes: int, raw_bytes: int, contiguous: bool,
@@ -93,18 +153,30 @@ class FetchStats:
             sequentially (0 for strictly sequential execution; negative
             values mean the plan queued behind concurrent work for longer
             than the overlap won back).
+        apply_ms: simulated client-side apply time (payload decode plus
+            delta/event replay) charged by the executor; 0 whenever the
+            cost model's apply constants are 0.  Included in
+            ``sim_time_ms`` (serially for sequential execution, as
+            scheduled on the timeline for pipelined execution).
         cache_hits / cache_misses: delta-cache outcomes, when the fetch
             ran through an executor with caching enabled (0 otherwise).
         cache_bytes_saved: stored bytes the cache kept off the wire.
+        checkpoint_hits / checkpoint_misses: materialized-state checkpoint
+            outcomes — a hit means replay was seeded from a cached
+            fully-replayed partition state instead of re-fetching and
+            re-applying its rows (0 when checkpoints are off).
     """
 
     requests: List[RequestRecord] = field(default_factory=list)
     sim_time_ms: float = 0.0
     rounds: int = 0
     overlap_saved_ms: float = 0.0
+    apply_ms: float = 0.0
     cache_hits: int = 0
     cache_misses: int = 0
     cache_bytes_saved: int = 0
+    checkpoint_hits: int = 0
+    checkpoint_misses: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -124,9 +196,12 @@ class FetchStats:
         self.sim_time_ms += other.sim_time_ms
         self.rounds += other.rounds
         self.overlap_saved_ms += other.overlap_saved_ms
+        self.apply_ms += other.apply_ms
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.cache_bytes_saved += other.cache_bytes_saved
+        self.checkpoint_hits += other.checkpoint_hits
+        self.checkpoint_misses += other.checkpoint_misses
 
     def merge_concurrent(
         self, other: "FetchStats", completed_at_ms: float
@@ -172,12 +247,16 @@ class RoundTiming:
         completed_ms: time the round's last request finished.
         standalone_ms: the round's two-sided bound on idle resources,
             i.e. what :func:`simulate_plan` would charge it in isolation.
+        lane: ``None`` for a store multiget round; the local-lane name for
+            client-side work scheduled via
+            :meth:`ExecutionTimeline.submit_local` (e.g. apply work).
     """
 
     index: int
     released_ms: float
     completed_ms: float
     standalone_ms: float
+    lane: Optional[str] = None
 
     @property
     def elapsed_ms(self) -> float:
@@ -206,6 +285,7 @@ class ExecutionTimeline:
         self.model = model
         self._client_free: Dict[int, float] = {}
         self._server_free: Dict[int, float] = {}
+        self._lane_free: Dict[str, float] = {}
         self.rounds: List[RoundTiming] = []
 
     def submit(
@@ -239,6 +319,27 @@ class ExecutionTimeline:
         self.rounds.append(timing)
         return timing
 
+    def submit_local(
+        self, duration_ms: float, at: float = 0.0, lane: str = "apply"
+    ) -> RoundTiming:
+        """Schedule client-side work (e.g. a stage's apply) on a named
+        local lane.
+
+        A lane models one query manager's apply worker: work on the same
+        lane serializes, work on different lanes (or against the store's
+        fetch resources) overlaps freely.  The work is released at ``at``
+        (typically the instant its payload arrived) and occupies the lane
+        for ``duration_ms``; like fetch rounds, it counts toward both
+        :attr:`makespan_ms` and :attr:`sequential_ms`, so overlap between
+        apply and in-flight fetches shows up in :attr:`overlap_saved_ms`.
+        """
+        start = max(at, self._lane_free.get(lane, 0.0))
+        end = start + duration_ms
+        self._lane_free[lane] = end
+        timing = RoundTiming(len(self.rounds), at, end, duration_ms, lane)
+        self.rounds.append(timing)
+        return timing
+
     @property
     def makespan_ms(self) -> float:
         """Completion time of the whole schedule."""
@@ -263,8 +364,9 @@ class ExecutionTimeline:
             f"overlap saved={self.overlap_saved_ms:.2f}ms]"
         ]
         for r in self.rounds:
+            kind = "round" if r.lane is None else f"apply[{r.lane}]"
             lines.append(
-                f"  round {r.index}: released={r.released_ms:.2f} "
+                f"  {kind} {r.index}: released={r.released_ms:.2f} "
                 f"completed={r.completed_ms:.2f} "
                 f"standalone={r.standalone_ms:.2f}"
             )

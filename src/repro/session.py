@@ -56,7 +56,12 @@ from repro.api import (
     QueryStats,
 )
 from repro.errors import IndexError_, QueryError
-from repro.exec import DeltaCache, PlanExecutor, shared_caches
+from repro.exec import (
+    DeltaCache,
+    PlanExecutor,
+    StateCheckpointCache,
+    shared_caches,
+)
 from repro.graph.static import Graph
 from repro.index.tgi import TGI, TGIPlanner, price_plan
 from repro.kvstore.cost import ExecutionTimeline, FetchStats
@@ -69,6 +74,11 @@ from repro.types import NodeId, TimePoint
 #: Shared-cache capacity used when a session enables caching but neither
 #: the call site nor the index config names one.
 DEFAULT_CACHE_ENTRIES = 8192
+
+#: Smoothing factor of the per-algorithm predicted→actual correction
+#: EWMA: each executed query nudges its algorithm's factor 30% of the way
+#: toward the observed actual/predicted ratio.
+EWMA_ALPHA = 0.3
 
 #: Candidate preference on predicted-cost ties: the targeted algorithms'
 #: bounds are conservative (the fetch loads partitions lazily and may
@@ -83,12 +93,16 @@ def open_graph(
     workers: int = 2,
     clients: int = 1,
     cache_entries: Optional[int] = None,
+    cache_bytes: Optional[int] = None,
+    checkpoint_entries: Optional[int] = None,
 ) -> "GraphSession":
     """Open a stored index as a :class:`GraphSession`.
 
     The session's cache-registry id is the resolved file path, so two
     ``open_graph`` calls on the same file — in the same process — share
-    one :class:`~repro.exec.DeltaCache` and serve each other's warm rows.
+    one :class:`~repro.exec.DeltaCache` (and, when enabled, one
+    :class:`~repro.exec.StateCheckpointCache`) and serve each other's
+    warm rows and replayed states.
 
     Args:
         path: an index file written by ``save_index`` / ``hgs build``.
@@ -97,6 +111,10 @@ def open_graph(
         cache_entries: shared-cache capacity; ``None`` defers to the
             index's ``delta_cache_entries`` (0 keeps caching off, which
             reproduces uncached fetch accounting exactly).
+        cache_bytes: shared-cache byte bound (``None`` defers to the
+            index's ``delta_cache_bytes``).
+        checkpoint_entries: materialized-state checkpoint capacity
+            (``None`` defers to the index's ``checkpoint_entries``).
     """
     index = load_index(path)
     if not isinstance(index, TGI):
@@ -111,6 +129,8 @@ def open_graph(
         workers=workers,
         clients=clients,
         cache_entries=cache_entries,
+        cache_bytes=cache_bytes,
+        checkpoint_entries=checkpoint_entries,
     )
 
 
@@ -141,7 +161,22 @@ class GraphSession:
         cache_entries: capacity of the shared delta cache; ``None`` uses
             the index's ``delta_cache_entries`` config (so the default
             session reproduces the index's configured fetch accounting),
-            any positive value forces caching on, 0 forces it off.
+            any positive value forces caching on, 0 forces it off
+            (including a configured byte bound, unless ``cache_bytes``
+            explicitly re-enables one).
+        cache_bytes: stored-byte bound for the same cache (``None`` =
+            the index's ``delta_cache_bytes``); either bound alone
+            enables caching, and the byte bound makes admission
+            size-aware.
+        checkpoint_entries: capacity of the materialized-state checkpoint
+            cache (``None`` = the index's ``checkpoint_entries``; 0 off).
+            Warm-partition replay is seeded from these checkpoints and
+            the planner prices warm plans accordingly.
+
+    Sessions over a stored index (``index_id`` set) hold a reference on
+    the process-wide registry slot; call :meth:`close` (or use the
+    session as a context manager) when done — the last reference drops
+    the shared caches (after the registry's TTL, when one is set).
     """
 
     def __init__(
@@ -153,6 +188,8 @@ class GraphSession:
         workers: int = 2,
         clients: int = 1,
         cache_entries: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        checkpoint_entries: Optional[int] = None,
     ) -> None:
         if not isinstance(tgi, TGI):
             raise QueryError(
@@ -160,23 +197,51 @@ class GraphSession:
             )
         self.tgi = tgi
         self.index_id = index_id
+        self._registered = False
+        self._closed = False
         capacity = (
             cache_entries
             if cache_entries is not None
             else tgi.config.delta_cache_entries
         )
-        if capacity < 0:
+        if cache_bytes is not None:
+            byte_bound = cache_bytes
+        elif cache_entries == 0:
+            # the documented contract: an explicit cache_entries=0 forces
+            # caching off outright — it must not be resurrected by the
+            # index's configured byte bound
+            byte_bound = 0
+        else:
+            byte_bound = tgi.config.delta_cache_bytes
+        ckpt_capacity = (
+            checkpoint_entries
+            if checkpoint_entries is not None
+            else tgi.config.checkpoint_entries
+        )
+        if capacity < 0 or byte_bound < 0:
             raise QueryError("cache_entries cannot be negative")
-        if capacity > 0:
-            if index_id is not None:
-                self.cache = shared_caches.get(index_id, capacity)
+        if ckpt_capacity < 0:
+            raise QueryError("checkpoint_entries cannot be negative")
+        caching = capacity > 0 or byte_bound > 0
+        slot = None
+        if index_id is not None and (caching or ckpt_capacity > 0):
+            slot = shared_caches.acquire(
+                index_id,
+                delta_entries=capacity,
+                delta_bytes=byte_bound,
+                checkpoint_entries=ckpt_capacity,
+            )
+            self._registered = True
+        if caching:
+            if slot is not None:
+                self.cache = slot.delta
             else:
                 # anonymous in-memory index: reuse its own cache or make
                 # a private one — never a registry slot keyed by object
                 # identity (id() reuse would alias a dead index's rows)
                 self.cache = (
                     tgi.delta_cache if tgi.delta_cache is not None
-                    else DeltaCache(capacity)
+                    else DeltaCache(capacity, byte_bound)
                 )
             # rebind the index's executor so every path — direct TGI
             # calls, TAF fetches, session queries — reads through the
@@ -189,6 +254,19 @@ class GraphSession:
             # capacity 0 must really mean uncached accounting
             tgi.delta_cache = None
             tgi.executor = PlanExecutor(tgi.cluster, None)
+        if ckpt_capacity > 0:
+            if slot is not None:
+                self.checkpoint_cache = slot.checkpoints
+            else:
+                self.checkpoint_cache = (
+                    tgi.checkpoints if tgi.checkpoints is not None
+                    else StateCheckpointCache(ckpt_capacity)
+                )
+            tgi.checkpoints = self.checkpoint_cache
+        else:
+            self.checkpoint_cache = None
+            # checkpoint_entries 0 must really mean replay-from-root
+            tgi.checkpoints = None
         self.sc = spark_context or SparkContext(num_workers=workers)
         self.clients = clients
         self.handler = TGIHandler(
@@ -196,6 +274,58 @@ class GraphSession:
         )
         self.planner = TGIPlanner(tgi)
         self.last_result: Optional[QueryResult] = None
+        # per-algorithm EWMA of observed actual/predicted sim-ms ratios;
+        # applied multiplicatively to subsequent candidate pricing
+        self._correction: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release this session's reference on the shared cache registry.
+
+        Idempotent.  The index object stays usable (its caches remain
+        bound); only the registry slot's lifetime is affected — when the
+        last session over an index id closes, the slot is dropped (or
+        TTL-retained) so long-running services don't accumulate caches
+        for every index they ever opened."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._registered and self.index_id is not None:
+            shared_caches.release(self.index_id)
+
+    def __enter__(self) -> "GraphSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    @property
+    def corrections(self) -> Dict[str, float]:
+        """The current per-algorithm predicted→actual correction factors
+        (selection feedback loop; 1.0 = trust the cost model as-is)."""
+        return dict(self._correction)
+
+    def _corrected(self, candidates: Dict[str, float]) -> Dict[str, float]:
+        return {
+            name: ms * self._correction.get(name, 1.0)
+            for name, ms in candidates.items()
+        }
+
+    def _observe(
+        self, algorithm: str, predicted_raw: Optional[float],
+        actual: float,
+    ) -> None:
+        """Fold one query's predicted-vs-actual outcome into the
+        algorithm's correction factor."""
+        if predicted_raw is None or predicted_raw <= 0.0:
+            return
+        ratio = actual / predicted_raw
+        prev = self._correction.get(algorithm, 1.0)
+        self._correction[algorithm] = (
+            (1.0 - EWMA_ALPHA) * prev + EWMA_ALPHA * ratio
+        )
 
     # ------------------------------------------------------------------
     # construction shims
@@ -292,25 +422,30 @@ class GraphSession:
 
     def _choose_khop(
         self, request: QueryRequest
-    ) -> Tuple[str, Dict[str, float]]:
+    ) -> Tuple[str, Dict[str, float], Dict[str, float]]:
         """Resolve the algorithm for a k-hop request: forced choices pass
         through; ``auto`` takes the cheapest priced candidate (ties break
-        toward the targeted bound, see :data:`_TIE_ORDER`)."""
-        candidates, plannable = self._khop_candidates(request)
+        toward the targeted bound, see :data:`_TIE_ORDER`), after the
+        per-algorithm EWMA corrections learned from earlier queries.
+        Returns the choice, the corrected candidate prices (what callers
+        report), and the raw model prices (what the feedback loop
+        compares actuals against)."""
+        raw, plannable = self._khop_candidates(request)
+        candidates = self._corrected(raw)
         if request.algorithm != ALGO_AUTO:
             chosen = request.algorithm
             if chosen == ALGO_PER_CENTER and request.single:
                 chosen = ALGO_KHOP  # one center: the loop *is* Algorithm 4
-            return chosen, candidates
+            return chosen, candidates, raw
         if not plannable:
             # no alive center to bound: run Algorithm 4, which raises (or
             # returns per-center Nones) without fetching a full snapshot
-            return ALGO_KHOP, candidates
+            return ALGO_KHOP, candidates, raw
         chosen = min(
             candidates,
             key=lambda name: (candidates[name], _TIE_ORDER[name]),
         )
-        return chosen, candidates
+        return chosen, candidates, raw
 
     def _predict(self, request: QueryRequest) -> Optional[float]:
         """Predicted cost for the non-k-hop kinds (single candidate)."""
@@ -347,7 +482,7 @@ class GraphSession:
 
     def _execute_simple(self, request: QueryRequest) -> QueryResult:
         tgi = self.tgi
-        predicted = self._predict(request)
+        predicted_raw = self._predict(request)
         algorithm = {
             "snapshot": "snapshot",
             "node_state": "micro-delta",
@@ -371,6 +506,14 @@ class GraphSession:
                 request.nodes[0], request.ts, request.te,
                 clients=request.clients,
             )
+        predicted = (
+            predicted_raw * self._correction.get(algorithm, 1.0)
+            if predicted_raw is not None
+            else None
+        )
+        self._observe(
+            algorithm, predicted_raw, tgi.last_fetch_stats.sim_time_ms
+        )
         stats = QueryStats.from_fetch(
             tgi.last_fetch_stats,
             algorithm=algorithm,
@@ -381,7 +524,7 @@ class GraphSession:
 
     def _execute_khop(self, request: QueryRequest) -> QueryResult:
         tgi = self.tgi
-        chosen, candidates = self._choose_khop(request)
+        chosen, candidates, raw = self._choose_khop(request)
         t, k, clients = request.t, request.k, request.clients
         if chosen == ALGO_KHOP:
             if request.single:
@@ -418,6 +561,7 @@ class GraphSession:
             fetch = tgi.last_fetch_stats
         else:
             raise QueryError(f"unknown k-hop algorithm {chosen!r}")
+        self._observe(chosen, raw.get(chosen), fetch.sim_time_ms)
         stats = QueryStats.from_fetch(
             fetch,
             algorithm=chosen,
@@ -458,7 +602,7 @@ class GraphSession:
                 request.nodes[0], request.ts, request.te
             )
         elif request.kind == "khop":
-            chosen, candidates = self._choose_khop(request)
+            chosen, candidates, _raw = self._choose_khop(request)
             if chosen == ALGO_SNAPSHOT_FIRST:
                 plan = self.planner.plan_snapshot(request.t)
             elif request.single:

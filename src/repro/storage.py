@@ -25,7 +25,11 @@ _MAGIC = "hgs-index"
 # (repro.exec); version-1 files lack them and would fail at query time
 # 3: TGIConfig carries the `pipeline` toggle; version-2 files would fail
 # on config access during pipelined execution
-_FORMAT_VERSION = 3
+# 4: TGIConfig carries `delta_cache_bytes` / `checkpoint_entries` and the
+# TGI a `checkpoints` attribute; version-3 files would fail on config
+# access during checkpoint-aware planning (and silently predate the
+# pipeline-default flip)
+_FORMAT_VERSION = 4
 
 
 class PersistenceError(HGSError):

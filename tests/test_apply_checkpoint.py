@@ -1,0 +1,522 @@
+"""Tests for the costed apply stage, the materialized-state checkpoint
+cache, the size-aware/bytes-bounded delta cache, the registry lifecycle,
+and the session's selection feedback loop."""
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.exec import (
+    CacheRegistry,
+    DeltaCache,
+    FetchPlan,
+    FetchStage,
+    KeyGroup,
+    PlanExecutor,
+    StateCheckpointCache,
+    shared_caches,
+)
+from repro.graph.static import Graph
+from repro.index.tgi import TGI, TGIConfig, TGIPlanner
+from repro.kvstore.cluster import Cluster, ClusterConfig
+from repro.kvstore.cost import CostModel
+from repro.session import GraphSession
+from repro.workloads.citation import CitationConfig, generate_citation_events
+from tests.helpers import random_history
+
+APPLY = CostModel(apply_per_kb_ms=0.2, replay_per_item_ms=0.02)
+
+
+# -- CostModel apply terms ----------------------------------------------------
+
+def test_apply_time_terms():
+    assert CostModel().costs_apply is False
+    assert APPLY.costs_apply is True
+    assert APPLY.apply_time(1024, 10) == pytest.approx(0.2 + 0.2)
+    # decoded rows skip the decode term, not the replay term
+    assert APPLY.apply_time(1024, 10, decoded=True) == pytest.approx(0.2)
+    assert CostModel().apply_time(1024, 10) == 0.0
+    assert APPLY.with_apply() is not APPLY  # preset returns a new model
+    assert CostModel().with_apply().costs_apply
+
+
+def test_estimated_apply_time_uses_item_proxy():
+    model = CostModel(apply_per_kb_ms=0.2, replay_per_item_ms=0.02,
+                      replay_items_per_kb=5.0)
+    # 2 KiB -> decode 0.4 + replay of ~10 proxied items
+    assert model.estimated_apply_time(2048) == pytest.approx(0.4 + 0.2)
+
+
+# -- executor: costed apply, overlapped within one plan ----------------------
+
+def _loaded_cluster(model, rows=24, machines=3):
+    cluster = Cluster(ClusterConfig(num_machines=machines, cost_model=model))
+    keys = [(i % 4, i % 2, ("S", 0), i) for i in range(rows)]
+    for key in keys:
+        cluster.put(key, [i for i in range(key[3] + 1)])
+    return cluster, keys
+
+
+def _two_stage_plan(keys, label="p"):
+    plan = FetchPlan(label)
+    plan.add_stage(f"{label}-1", KeyGroup("rows", tuple(keys[:-2])))
+    plan.add_factory(
+        lambda values, tail=tuple(keys[-2:]), lbl=label: FetchStage(
+            f"{lbl}-2", (KeyGroup("derived", tail),)
+        )
+    )
+    return plan
+
+
+def test_sequential_execute_adds_apply_serially():
+    cluster, keys = _loaded_cluster(APPLY)
+    plain_cluster, _ = _loaded_cluster(CostModel())
+    costed = PlanExecutor(cluster).execute(_two_stage_plan(keys))
+    plain = PlanExecutor(plain_cluster).execute(_two_stage_plan(keys))
+    assert plain.stats.apply_ms == 0.0
+    assert costed.stats.apply_ms > 0.0
+    # same fetch work; completion differs by exactly the apply time
+    assert costed.stats.num_requests == plain.stats.num_requests
+    assert costed.stats.rounds == plain.stats.rounds
+    assert costed.stats.sim_time_ms == pytest.approx(
+        plain.stats.sim_time_ms + costed.stats.apply_ms
+    )
+    # each row was charged decode + replay of its item count
+    expected = sum(
+        APPLY.apply_time(r.raw_bytes, len(costed.values[r.key]))
+        for r in costed.stats.requests
+    )
+    assert costed.stats.apply_ms == pytest.approx(expected)
+
+
+def test_pipelined_apply_overlaps_next_fetch_round():
+    """The tentpole: within ONE plan, a stage's apply overlaps the next
+    fetch round, so the pipelined makespan undercuts the sequential
+    fetch+apply sum."""
+    cluster, keys = _loaded_cluster(APPLY)
+    seq = PlanExecutor(cluster).execute(_two_stage_plan(keys))
+    pipe = PlanExecutor(cluster).execute_many(
+        [_two_stage_plan(keys)], pipelined=True
+    )
+    assert pipe.stats.apply_ms == pytest.approx(seq.stats.apply_ms)
+    assert pipe.stats.sim_time_ms < seq.stats.sim_time_ms
+    assert pipe.stats.overlap_saved_ms > 0.0
+    # but apply cannot finish before its payload arrived: completion is
+    # at least the fetch chain plus the *last* stage's apply share
+    fetch_only = PlanExecutor(
+        _loaded_cluster(CostModel())[0]
+    ).execute_many([_two_stage_plan(keys)], pipelined=True)
+    assert pipe.stats.sim_time_ms > fetch_only.stats.sim_time_ms
+    # the timeline records the apply lanes
+    assert any(r.lane is not None for r in pipe.timeline.rounds)
+
+
+def test_zero_apply_model_is_bit_identical_across_pipeline_matrix():
+    """Satellite: with apply cost 0 and checkpoints off, accounting is
+    bit-identical to the fetch-only model, pipelined or not."""
+    explicit_zero = CostModel(apply_per_kb_ms=0.0, replay_per_item_ms=0.0)
+    for pipelined in (False, True):
+        a_cluster, keys = _loaded_cluster(CostModel())
+        b_cluster, _ = _loaded_cluster(explicit_zero)
+        a = PlanExecutor(a_cluster).execute_many(
+            [_two_stage_plan(keys, "x"), _two_stage_plan(keys, "y")],
+            pipelined=pipelined,
+        )
+        b = PlanExecutor(b_cluster).execute_many(
+            [_two_stage_plan(keys, "x"), _two_stage_plan(keys, "y")],
+            pipelined=pipelined,
+        )
+        assert a.stats.sim_time_ms == b.stats.sim_time_ms
+        assert a.stats.rounds == b.stats.rounds
+        assert a.stats.bytes_read == b.stats.bytes_read
+        assert a.stats.apply_ms == b.stats.apply_ms == 0.0
+        assert a.stats.overlap_saved_ms == b.stats.overlap_saved_ms
+
+
+def test_cache_hits_still_pay_replay_but_not_decode():
+    cluster, keys = _loaded_cluster(APPLY)
+    ex = PlanExecutor(cluster, DeltaCache(256))
+    cold = ex.fetch(keys)
+    warm = ex.fetch(keys)
+    assert warm.stats.num_requests == 0
+    assert 0.0 < warm.stats.apply_ms < cold.stats.apply_ms
+    # warm sim time is pure apply (no store rounds)
+    assert warm.stats.sim_time_ms == pytest.approx(warm.stats.apply_ms)
+
+
+# -- TGI end-to-end: apply-cost parity ---------------------------------------
+
+@pytest.fixture(scope="module")
+def events():
+    return random_history(steps=500, seed=33)
+
+
+def make_tgi(events, model=None, **overrides):
+    defaults = dict(
+        events_per_timespan=180,
+        eventlist_size=30,
+        micro_partition_size=12,
+    )
+    defaults.update(overrides)
+    cluster = overrides.get("cluster")
+    if cluster is None and model is not None:
+        defaults["cluster"] = ClusterConfig(
+            num_machines=3, cost_model=model
+        )
+    idx = TGI(TGIConfig(**defaults))
+    idx.build(events)
+    return idx
+
+
+def test_apply_cost_changes_only_time_accounting(events):
+    plain = make_tgi(events, model=CostModel())
+    costed = make_tgi(events, model=APPLY)
+    nodes = sorted({ev.node for ev in events})[:20]
+    assert plain.get_snapshot(450) == costed.get_snapshot(450)
+    assert plain.last_fetch_stats.num_requests == (
+        costed.last_fetch_stats.num_requests
+    )
+    assert costed.last_fetch_stats.apply_ms > 0.0
+    assert plain.get_node_histories(nodes, 100, 450) == (
+        costed.get_node_histories(nodes, 100, 450)
+    )
+    assert plain.last_fetch_stats.rounds == costed.last_fetch_stats.rounds
+    assert plain.last_fetch_stats.bytes_read == (
+        costed.last_fetch_stats.bytes_read
+    )
+    assert costed.last_fetch_stats.sim_time_ms == pytest.approx(
+        plain.last_fetch_stats.sim_time_ms
+        + costed.last_fetch_stats.apply_ms
+    )
+
+
+# -- TGI end-to-end: checkpoint-seeded replay --------------------------------
+
+def test_checkpoint_snapshot_warm_path(events):
+    cold = make_tgi(events)
+    warm = make_tgi(events, checkpoint_entries=256)
+    first = warm.get_snapshot(450)
+    assert warm.last_fetch_stats.checkpoint_misses == 1
+    assert first == cold.get_snapshot(450)
+    second = warm.get_snapshot(450)
+    assert second == first
+    assert warm.last_fetch_stats.num_requests == 0
+    assert warm.last_fetch_stats.rounds == 0
+    assert warm.last_fetch_stats.checkpoint_hits == 1
+    assert warm.last_fetch_stats.sim_time_ms == 0.0
+
+
+def test_checkpoint_snapshot_copy_on_read(events):
+    tgi = make_tgi(events, checkpoint_entries=256)
+    g = tgi.get_snapshot(450)
+    g.add_node(10**6, {"rogue": True})  # mutate the returned graph
+    again = tgi.get_snapshot(450)
+    assert not again.has_node(10**6)
+    assert again == make_tgi(events).get_snapshot(450)
+    again.add_node(10**6 + 1)
+    assert not tgi.get_snapshot(450).has_node(10**6 + 1)
+
+
+def test_checkpoint_khop_member_identical_and_cheaper(events):
+    cold = make_tgi(events)
+    warm = make_tgi(events, checkpoint_entries=512)
+    nodes = sorted({ev.node for ev in events})[:15]
+    center = nodes[3]
+    want = cold.get_khop(center, 450, k=2)
+    first = warm.get_khop(center, 450, k=2)
+    cold_requests = warm.last_fetch_stats.num_requests
+    assert warm.last_fetch_stats.checkpoint_misses > 0
+    assert first == want
+    second = warm.get_khop(center, 450, k=2)
+    assert second == want
+    assert warm.last_fetch_stats.num_requests == 0 < cold_requests
+    assert warm.last_fetch_stats.checkpoint_hits > 0
+    # the shared-frontier batch seeds from the same checkpoints
+    batched = warm.get_khops(nodes, 450, k=2)
+    assert warm.last_fetch_stats.checkpoint_hits > 0
+    for node, got in zip(nodes, batched):
+        try:
+            assert got == cold.get_khop(node, 450, k=2)
+        except IndexError_:
+            assert got is None
+
+
+def test_checkpoint_histories_member_identical_and_cheaper(events):
+    cold = make_tgi(events)
+    warm = make_tgi(events, checkpoint_entries=512)
+    nodes = sorted({ev.node for ev in events})[:25]
+    want = cold.get_node_histories(nodes, 100, 450)
+    assert warm.get_node_histories(nodes, 100, 450) == want
+    cold_requests = warm.last_fetch_stats.num_requests
+    assert warm.get_node_histories(nodes, 100, 450) == want
+    warm_stats = warm.last_fetch_stats
+    # micro paths + initial eventlists are seeded; only chains remain
+    assert 0 < warm_stats.num_requests < cold_requests
+    assert warm_stats.checkpoint_hits > 0
+
+
+def test_checkpoints_shared_across_query_kinds(events):
+    """A partition state replayed for histories at ts seeds a later k-hop
+    at the same time point (the keys agree on (tsid, pid, t, aux))."""
+    tgi = make_tgi(events, checkpoint_entries=512)
+    nodes = sorted({ev.node for ev in events})[:25]
+    tgi.get_node_histories(nodes, 100, 450)
+    center = nodes[3]
+    tgi.get_khop(center, 100, k=1)
+    assert tgi.last_fetch_stats.checkpoint_hits > 0
+
+
+def test_checkpoints_survive_update(events):
+    """Timespans are append-only, so existing checkpoints stay valid
+    across a batch update."""
+    warm = make_tgi(events[:400], checkpoint_entries=256)
+    t = events[399].time
+    before = warm.get_snapshot(t)
+    warm.update(events[400:])
+    assert warm.get_snapshot(t) == before
+    assert warm.last_fetch_stats.checkpoint_hits == 1
+    fresh = make_tgi(events)
+    assert warm.get_snapshot(480) == fresh.get_snapshot(480)
+
+
+def test_checkpoint_planner_prices_warm_paths(events):
+    tgi = make_tgi(events, checkpoint_entries=512)
+    planner = TGIPlanner(tgi)
+    center = sorted({ev.node for ev in events})[3]
+    cold_plan = planner.plan_khop(center, 450, k=2)
+    tgi.get_khop(center, 450, k=2)
+    warm_plan = planner.plan_khop(center, 450, k=2)
+    assert warm_plan.num_keys < cold_plan.num_keys
+    assert any("checkpoint-seeded" in n for n in warm_plan.notes)
+    # snapshot plan collapses to zero once the snapshot is materialized
+    tgi.get_snapshot(450)
+    snap_plan = planner.plan_snapshot(450)
+    assert snap_plan.num_keys == 0
+    assert any("warm" in n for n in snap_plan.notes)
+
+
+def test_session_auto_selects_warm_materialized_snapshot(events):
+    tgi = make_tgi(events, checkpoint_entries=512)
+    s = GraphSession.from_index(tgi)
+    center = sorted({ev.node for ev in events})[3]
+    t = 450
+    s.at(t).snapshot()  # warms the materialized snapshot
+    result = s.at(t).khop(center, k=2)
+    assert result.stats.algorithm == "snapshot-first"
+    assert result.stats.requests == 0
+    assert result.stats.checkpoint_hits == 1
+    want = make_tgi(events).get_khop(center, t, k=2)
+    assert sorted(result.value.nodes()) == sorted(want.nodes())
+
+
+# -- bytes-bounded, size-aware delta cache -----------------------------------
+
+def test_delta_cache_bytes_bound_evicts_lru():
+    cache = DeltaCache(max_entries=0, max_bytes=1000)
+    for i in range(5):
+        cache.admit((i,), i, stored_bytes=240, raw_bytes=240)
+    assert cache.bytes_cached <= 1000
+    assert len(cache) == 4
+    assert (0,) not in cache and (4,) in cache
+    assert cache.stats().evictions == 1
+    assert cache.stats().max_bytes == 1000
+
+
+def test_delta_cache_rejects_oversized_row():
+    cache = DeltaCache(max_entries=0, max_bytes=1000)
+    for i in range(4):
+        cache.admit((i,), i, stored_bytes=200, raw_bytes=200)
+    cache.admit(("huge",), "root", stored_bytes=600, raw_bytes=600)
+    # the huge root row is refused; the small working set survives
+    assert ("huge",) not in cache
+    assert len(cache) == 4
+    assert cache.stats().rejected == 1
+    assert cache.stats().evictions == 0
+
+
+def test_delta_cache_requires_some_bound():
+    with pytest.raises(ValueError):
+        DeltaCache(0)
+    with pytest.raises(ValueError):
+        DeltaCache(0, 0)
+    DeltaCache(0, 1024)  # bytes-only bound is fine
+
+
+def test_delta_cache_readmission_updates_bytes():
+    cache = DeltaCache(max_entries=4, max_bytes=0)
+    cache.admit(("a",), 1, stored_bytes=100, raw_bytes=100)
+    cache.admit(("a",), 2, stored_bytes=300, raw_bytes=300)
+    assert cache.bytes_cached == 300
+    cache.invalidate(("a",))
+    assert cache.bytes_cached == 0
+
+
+def test_tgi_bytes_bounded_cache(events):
+    tgi = make_tgi(events, delta_cache_bytes=64 * 1024)
+    assert tgi.delta_cache is not None
+    node = sorted({ev.node for ev in events})[0]
+    tgi.get_node_history(node, 100, 450)
+    tgi.get_node_history(node, 100, 450)
+    assert tgi.last_fetch_stats.cache_hits > 0
+
+
+# -- StateCheckpointCache unit ------------------------------------------------
+
+def test_checkpoint_cache_copy_on_read_and_lru():
+    cache = StateCheckpointCache(2)
+    cache.admit(("a",), {"x": 1}, dict)
+    got = cache.lookup(("a",))
+    got["x"] = 99
+    assert cache.lookup(("a",)) == {"x": 1}
+    assert cache.peek(("b",)) is False  # peek does not count
+    assert cache.stats().misses == 0
+    cache.admit(("b",), {}, dict)
+    cache.lookup(("a",))  # promote a
+    cache.admit(("c",), {}, dict)  # evicts b
+    assert ("b",) not in cache and ("a",) in cache
+    assert cache.stats().evictions == 1
+    with pytest.raises(ValueError):
+        StateCheckpointCache(0)
+
+
+# -- registry lifecycle -------------------------------------------------------
+
+def test_session_cache_entries_zero_overrides_config_byte_bound(events):
+    """An explicit cache_entries=0 forces caching off even when the
+    index was built with a byte bound (the documented '0 = uncached
+    accounting' contract)."""
+    tgi = make_tgi(events, delta_cache_bytes=64 * 1024)
+    s = GraphSession.from_index(tgi, cache_entries=0)
+    assert s.cache is None and tgi.delta_cache is None
+    # explicit cache_bytes re-enables a byte-bounded cache regardless
+    s2 = GraphSession.from_index(tgi, cache_entries=0,
+                                 cache_bytes=32 * 1024)
+    assert s2.cache is not None and s2.cache.max_bytes == 32 * 1024
+
+
+def test_registry_get_rejects_zero_capacity_without_phantom_slot():
+    reg = CacheRegistry()
+    with pytest.raises(ValueError):
+        reg.get("idx", 0)
+    assert "idx" not in reg
+    assert reg.get("idx", 8) is not None
+
+
+def test_registry_refcounted_release_drops_slot():
+    reg = CacheRegistry()
+    slot = reg.acquire("idx", delta_entries=8)
+    again = reg.acquire("idx", delta_entries=8)
+    assert again is slot and slot.refs == 2
+    reg.release("idx")
+    assert "idx" in reg
+    reg.release("idx")
+    assert "idx" not in reg
+
+
+def test_registry_ttl_keeps_unreferenced_slot_warm():
+    now = [0.0]
+    reg = CacheRegistry(ttl=100.0, clock=lambda: now[0])
+    reg.acquire("idx", delta_entries=8)
+    reg.release("idx")
+    assert "idx" in reg  # inside the grace period
+    slot = reg.acquire("idx", delta_entries=8)  # re-acquire keeps it
+    reg.release("idx")
+    now[0] = 99.0
+    assert reg.peek_slot("idx") is slot
+    now[0] = 200.0
+    reg.acquire("other", delta_entries=8)  # any access sweeps
+    assert "idx" not in reg
+
+
+def test_registry_slot_grows_checkpoints_in_place():
+    reg = CacheRegistry()
+    slot = reg.acquire("idx", delta_entries=8)
+    assert slot.checkpoints is None
+    slot2 = reg.acquire("idx", checkpoint_entries=16)
+    assert slot2 is slot and slot.checkpoints is not None
+    assert slot.delta is not None  # first consumer's cache retained
+
+
+def test_session_close_releases_registry(tmp_path, events):
+    from repro import open_graph, save_index
+
+    shared_caches.clear()
+    path = tmp_path / "ckpt.hgs"
+    save_index(make_tgi(events, delta_cache_entries=512,
+                        checkpoint_entries=64), path)
+    s1 = open_graph(path)
+    with open_graph(path) as s2:
+        assert s2.cache is s1.cache
+        assert s2.checkpoint_cache is s1.checkpoint_cache
+        assert len(shared_caches) == 1
+    assert len(shared_caches) == 1  # s1 still holds a reference
+    s1.close()
+    s1.close()  # idempotent
+    assert len(shared_caches) == 0
+    shared_caches.clear()
+
+
+# -- selection feedback loop --------------------------------------------------
+
+@pytest.fixture(scope="module")
+def citation_events():
+    return generate_citation_events(
+        CitationConfig(num_nodes=250, citations_per_node=4, seed=42)
+    )
+
+
+def _session(events, **overrides):
+    defaults = dict(
+        events_per_timespan=1200,
+        eventlist_size=150,
+        micro_partition_size=32,
+        cluster=ClusterConfig(num_machines=4),
+    )
+    defaults.update(overrides)
+    tgi = TGI(TGIConfig(**defaults))
+    tgi.build(events)
+    return GraphSession.from_index(tgi)
+
+
+def test_ewma_correction_learns_from_mispredictions(citation_events):
+    s = _session(citation_events)
+    te = citation_events[-1].time
+    r1 = s.between(te // 3, te).node_histories(list(range(30)))
+    # batched histories are priced as one round, so the chained
+    # version-pointer round makes the prediction an underestimate
+    assert s.corrections == {} or True  # populated after first observe
+    factor = s.corrections.get("batched-histories")
+    assert factor is not None and factor != 1.0
+    r2 = s.between(te // 3, te).node_histories(list(range(30)))
+    # the second prediction is the raw price scaled by the learned factor
+    assert r2.stats.predicted_ms == pytest.approx(
+        r1.stats.predicted_ms * factor
+    )
+    # and it moved toward the (identical, uncached) actual cost
+    assert abs(r2.stats.predicted_ms - r2.stats.actual_ms) < abs(
+        r1.stats.predicted_ms - r1.stats.actual_ms
+    )
+
+
+def test_ewma_correction_scales_khop_candidates(citation_events):
+    s = _session(citation_events)
+    te = citation_events[-1].time
+    first = s.at(te).khop(5, k=2, algorithm="khop")
+    factor = s.corrections["khop"]
+    assert factor != 1.0
+    second = s.at(te).khop(5, k=2, algorithm="khop")
+    assert second.stats.candidates["khop"] == pytest.approx(
+        first.stats.candidates["khop"] * factor
+    )
+    # snapshot-first was never executed: its pricing stays uncorrected
+    assert second.stats.candidates["snapshot-first"] == pytest.approx(
+        first.stats.candidates["snapshot-first"]
+    )
+
+
+def test_exact_predictions_leave_correction_at_one(citation_events):
+    s = _session(citation_events)
+    t = citation_events[-1].time // 2
+    s.at(t).snapshot()
+    s.at(t).snapshot()
+    # snapshot plans are exact on an uncached session: ratio 1.0
+    assert s.corrections["snapshot"] == pytest.approx(1.0)

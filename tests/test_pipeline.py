@@ -360,7 +360,11 @@ def test_khop_dead_node_resets_stats(tgi, events):
 
 @pytest.fixture(scope="module")
 def handlers(events):
-    seq = TGIHandler(make_tgi(events), SparkContext(num_workers=2))
+    # pipeline is on by default; the sequential side of the comparison
+    # must pin it off explicitly
+    seq = TGIHandler(
+        make_tgi(events, pipeline=False), SparkContext(num_workers=2)
+    )
     pipe = TGIHandler(
         make_tgi(events, pipeline=True), SparkContext(num_workers=2)
     )
