@@ -45,6 +45,7 @@ from repro.kvstore.cluster import Cluster, ClusterConfig
 from repro.kvstore.cost import CostModel, FetchStats
 from repro.api import QueryRequest, QueryResult, QueryStats
 from repro.session import GraphSession, open_graph
+from repro.stats import ApplyCalibration, GraphStatistics
 
 __version__ = "1.1.0"
 
@@ -79,6 +80,8 @@ __all__ = [
     "FetchStats",
     "GraphSession",
     "open_graph",
+    "ApplyCalibration",
+    "GraphStatistics",
     "QueryRequest",
     "QueryResult",
     "QueryStats",

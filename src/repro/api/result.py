@@ -35,6 +35,9 @@ class QueryStats:
         checkpoint_hits / checkpoint_misses: materialized-state checkpoint
             outcomes (0 when checkpoints are off); a hit seeded replay
             from a memoized state instead of re-fetching and re-applying.
+        checkpoint_near_hits: nearest-in-time seedings — replay started
+            from a checkpoint at an earlier time and fetched only the
+            eventlist gap between the two times.
         algorithm: the plan the session executed (e.g. ``snapshot-first``).
         predicted_ms: the cost model's estimate for the chosen plan,
             priced via ``Cluster.plan_records`` before fetching.
@@ -53,6 +56,7 @@ class QueryStats:
     cache_bytes_saved: int = 0
     checkpoint_hits: int = 0
     checkpoint_misses: int = 0
+    checkpoint_near_hits: int = 0
     algorithm: Optional[str] = None
     predicted_ms: Optional[float] = None
     candidates: Dict[str, float] = field(default_factory=dict)
@@ -91,6 +95,7 @@ class QueryStats:
             cache_bytes_saved=getattr(stats, "cache_bytes_saved", 0),
             checkpoint_hits=getattr(stats, "checkpoint_hits", 0),
             checkpoint_misses=getattr(stats, "checkpoint_misses", 0),
+            checkpoint_near_hits=getattr(stats, "checkpoint_near_hits", 0),
             algorithm=algorithm,
             predicted_ms=predicted_ms,
             candidates=dict(candidates or {}),
@@ -115,10 +120,15 @@ class QueryStats:
                 "misses": self.cache_misses,
                 "bytes_saved": self.cache_bytes_saved,
             }
-        if self.checkpoint_hits or self.checkpoint_misses:
+        if (
+            self.checkpoint_hits
+            or self.checkpoint_misses
+            or self.checkpoint_near_hits
+        ):
             out["checkpoints"] = {
                 "hits": self.checkpoint_hits,
                 "misses": self.checkpoint_misses,
+                "near_hits": self.checkpoint_near_hits,
             }
         if self.algorithm is not None:
             out["algorithm"] = self.algorithm

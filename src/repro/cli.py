@@ -79,10 +79,18 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="materialized-state checkpoint capacity: "
                        "fully-replayed partition states / snapshots "
                        "reused across queries (0 = disabled)")
+    build.add_argument("--checkpoint-admission",
+                       choices=["always", "second-touch"],
+                       default="always",
+                       help="checkpoint admission policy: second-touch "
+                       "admits a replayed state only on its second "
+                       "replay, so one-off scans don't churn the LRU")
     build.add_argument("--apply-cost", action="store_true",
                        help="cost client-side apply work (payload decode "
-                       "+ delta/event replay) in the simulation; "
-                       "apply_ms appears in query JSON")
+                       "+ delta/event replay) in the simulation with "
+                       "constants *calibrated* on this machine at build "
+                       "time (measured decode ms/KiB and replay "
+                       "ms/item); apply_ms appears in query JSON")
     build.add_argument("--pipeline", default=True,
                        action=argparse.BooleanOptionalAction,
                        help="overlap independent fetch plans on a shared "
@@ -147,9 +155,6 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_build(args: argparse.Namespace) -> int:
     events = read_events(args.events)
-    cost_model = CostModel()
-    if args.apply_cost:
-        cost_model = cost_model.with_apply()
     config = TGIConfig(
         events_per_timespan=args.span,
         eventlist_size=args.eventlist,
@@ -162,16 +167,25 @@ def _cmd_build(args: argparse.Namespace) -> int:
         delta_cache_entries=args.cache_entries,
         delta_cache_bytes=args.cache_bytes,
         checkpoint_entries=args.checkpoints,
+        checkpoint_admission=args.checkpoint_admission,
         pipeline=args.pipeline,
         cluster=ClusterConfig(
             num_machines=args.machines,
             replication=args.replication,
             compress=args.compress,
-            cost_model=cost_model,
+            cost_model=CostModel(),
         ),
     )
     tgi = TGI(config)
     tgi.build(events)
+    if args.apply_cost:
+        # the build just measured this machine's decode/replay constants;
+        # cost apply work with those instead of the fixed defaults
+        model = tgi.use_calibrated_apply()
+        print(
+            f"calibrated apply cost: {model.apply_per_kb_ms:.4f} ms/KiB "
+            f"decode, {model.replay_per_item_ms:.5f} ms/item replay"
+        )
     save_index(tgi, args.output)
     print(
         f"built TGI over {len(events)} events: {tgi.num_timespans} "
@@ -295,8 +309,27 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "delta_cache_entries": index.config.delta_cache_entries,
                 "delta_cache_bytes": index.config.delta_cache_bytes,
                 "checkpoint_entries": index.config.checkpoint_entries,
+                "checkpoint_admission": index.config.checkpoint_admission,
                 "pipeline": index.config.pipeline,
             })
+            if index.stats:
+                cal = index.stats.calibration
+                info["stats"] = {
+                    "spans": len(index.stats.spans),
+                    "buckets": index.config.stats_buckets,
+                    "calibration": (
+                        {
+                            "apply_per_kb_ms": round(cal.apply_per_kb_ms, 5),
+                            "replay_per_item_ms": round(
+                                cal.replay_per_item_ms, 6
+                            ),
+                            "sample_rows": cal.sample_rows,
+                            "sample_items": cal.sample_items,
+                        }
+                        if cal is not None
+                        else None
+                    ),
+                }
         print(json.dumps(info, indent=2))
     return 0
 

@@ -46,13 +46,23 @@ KeyTuple = Tuple
 MAX_ROW_BUDGET_FRACTION = 0.25
 
 
+#: Second-touch admission keeps this many times the entry capacity in
+#: probation (key-only, so probation is far cheaper than real entries).
+PROBATION_FACTOR = 4
+
+
 @dataclass(frozen=True)
 class CachedRow:
-    """A decoded row plus the sizes its fetch would have cost."""
+    """A decoded row plus the sizes its fetch would have cost.
+
+    ``generation`` stamps the batch-update epoch the row was admitted in
+    (the cache owner bumps it on every ``TGI.update``), so introspection
+    can tell fresh rows from ones that survived an update."""
 
     value: Any
     stored_bytes: int
     raw_bytes: int
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -68,6 +78,8 @@ class CacheStats:
     bytes_cached: int = 0
     max_bytes: int = 0
     rejected: int = 0
+    invalidations: int = 0
+    generation: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -109,6 +121,8 @@ class DeltaCache:
         self.evictions = 0
         self.bytes_saved = 0
         self.rejected = 0
+        self.invalidations = 0
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -143,7 +157,9 @@ class DeltaCache:
         if old is not None:
             self.bytes_cached -= old.stored_bytes
             self._rows.move_to_end(key)
-        self._rows[key] = CachedRow(value, stored_bytes, raw_bytes)
+        self._rows[key] = CachedRow(
+            value, stored_bytes, raw_bytes, self.generation
+        )
         self.bytes_cached += stored_bytes
         while self._over_budget():
             _k, evicted = self._rows.popitem(last=False)
@@ -159,6 +175,25 @@ class DeltaCache:
         row = self._rows.pop(key, None)
         if row is not None:
             self.bytes_cached -= row.stored_bytes
+            self.invalidations += 1
+
+    def invalidate_many(self, keys) -> int:
+        """Targeted invalidation: drop exactly ``keys`` (counted in
+        ``stats().invalidations``); every other warm row survives.  The
+        selective alternative to :meth:`clear` for batch updates, where
+        only the rewritten version-chain rows change content."""
+        dropped = 0
+        for key in keys:
+            if key in self._rows:
+                self.invalidate(key)
+                dropped += 1
+        return dropped
+
+    def bump_generation(self) -> int:
+        """Start a new admission epoch (called by the index on every
+        batch update); rows admitted from now on carry the new stamp."""
+        self.generation += 1
+        return self.generation
 
     def clear(self) -> None:
         """Drop all entries (counters are retained)."""
@@ -176,6 +211,8 @@ class DeltaCache:
             bytes_cached=self.bytes_cached,
             max_bytes=self.max_bytes,
             rejected=self.rejected,
+            invalidations=self.invalidations,
+            generation=self.generation,
         )
 
     def __repr__(self) -> str:
@@ -195,14 +232,38 @@ class CheckpointStats:
     evictions: int
     entries: int
     max_entries: int
+    deferred: int = 0
+
+
+class _MaxSentinel:
+    """Compares greater than anything (bisect upper bound for a time)."""
+
+    def __lt__(self, other: Any) -> bool:
+        return False
+
+    def __gt__(self, other: Any) -> bool:
+        return True
+
+
+_SERIES_MAX = _MaxSentinel()
 
 
 class _CheckpointEntry:
-    __slots__ = ("payload", "clone")
+    __slots__ = ("key", "payload", "clone", "series", "t")
 
-    def __init__(self, payload: Any, clone: Callable[[Any], Any]) -> None:
+    def __init__(
+        self,
+        key: KeyTuple,
+        payload: Any,
+        clone: Callable[[Any], Any],
+        series: Optional[KeyTuple] = None,
+        t: Any = None,
+    ) -> None:
+        self.key = key
         self.payload = payload
         self.clone = clone
+        self.series = series
+        self.t = t
 
 
 class StateCheckpointCache:
@@ -215,20 +276,46 @@ class StateCheckpointCache:
     returned reference.  ``peek`` answers warmness without counters or
     promotion — the planner uses it to price checkpoint-aware plans
     without perturbing the cache.
+
+    Two optional behaviors:
+
+    - **Time series** — ``admit`` may name a ``series`` (e.g.
+      ``(timespan, partition, aux)``) and an orderable ``t``; the cache
+      then indexes the entry by time so :meth:`nearest` can answer "the
+      warmest state at or before ``t``" — the lookup behind
+      nearest-in-time checkpoint seeding.
+    - **Admission policy** — ``admission="second-touch"`` defers the
+      first admit of a never-seen key to a bounded key-only probation
+      set; only a key admitted *again* (i.e. replayed twice) enters the
+      LRU for real, so one-off scans stop churning the working set.
+      Deferred admits are counted in ``stats().deferred``.
     """
 
-    def __init__(self, max_entries: int) -> None:
+    ADMISSION_POLICIES = ("always", "second-touch")
+
+    def __init__(self, max_entries: int, admission: str = "always") -> None:
         if max_entries < 1:
             raise ValueError(
                 "StateCheckpointCache needs capacity for at least 1 entry"
             )
+        if admission not in self.ADMISSION_POLICIES:
+            raise ValueError(
+                f"unknown admission policy {admission!r} "
+                f"(choose from {self.ADMISSION_POLICIES})"
+            )
         self.max_entries = max_entries
+        self.admission = admission
         self._entries: "OrderedDict[KeyTuple, _CheckpointEntry]" = (
             OrderedDict()
         )
+        # sorted (t, key) pairs per series, for nearest-in-time probes
+        self._series: Dict[KeyTuple, list] = {}
+        # key-only probation LRU for second-touch admission
+        self._probation: "OrderedDict[KeyTuple, None]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.deferred = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -240,6 +327,24 @@ class StateCheckpointCache:
         """Non-perturbing warmness probe (no promotion, no counters)."""
         return key in self._entries
 
+    def nearest(
+        self, series: KeyTuple, t: Any
+    ) -> Optional[Tuple[Any, KeyTuple]]:
+        """The latest entry of ``series`` at or before ``t``, as a
+        ``(t0, key)`` pair — non-perturbing, like :meth:`peek`; follow
+        with :meth:`lookup` on the returned key for the counted,
+        copy-on-read payload."""
+        import bisect
+
+        entries = self._series.get(series)
+        if not entries:
+            return None
+        pos = bisect.bisect_right(entries, (t, _SERIES_MAX)) - 1
+        if pos < 0:
+            return None
+        t0, key = entries[pos]
+        return t0, key
+
     def lookup(self, key: KeyTuple) -> Optional[Any]:
         entry = self._entries.get(key)
         if entry is None:
@@ -250,21 +355,59 @@ class StateCheckpointCache:
         return entry.clone(entry.payload)
 
     def admit(
-        self, key: KeyTuple, payload: Any, clone: Callable[[Any], Any]
-    ) -> None:
+        self,
+        key: KeyTuple,
+        payload: Any,
+        clone: Callable[[Any], Any],
+        series: Optional[KeyTuple] = None,
+        t: Any = None,
+    ) -> bool:
+        """Insert a replayed state; returns whether it was admitted (a
+        second-touch policy defers the first sighting to probation)."""
         if key in self._entries:
             self._entries.move_to_end(key)
-        self._entries[key] = _CheckpointEntry(payload, clone)
+        elif self.admission == "second-touch" and key not in self._probation:
+            self._probation[key] = None
+            while len(self._probation) > self.max_entries * PROBATION_FACTOR:
+                self._probation.popitem(last=False)
+            self.deferred += 1
+            return False
+        else:
+            self._probation.pop(key, None)
+        self._drop_from_series(self._entries.get(key))
+        self._entries[key] = _CheckpointEntry(key, payload, clone, series, t)
+        if series is not None:
+            import bisect
+
+            bisect.insort(self._series.setdefault(series, []), (t, key))
         while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+            _k, evicted = self._entries.popitem(last=False)
+            self._drop_from_series(evicted)
             self.evictions += 1
+        return True
+
+    def _drop_from_series(self, entry: Optional[_CheckpointEntry]) -> None:
+        if entry is None or entry.series is None:
+            return
+        lst = self._series.get(entry.series)
+        if lst is None:
+            return
+        try:
+            lst.remove((entry.t, entry.key))
+        except ValueError:
+            pass
+        if not lst:
+            self._series.pop(entry.series, None)
 
     def invalidate(self, key: KeyTuple) -> None:
-        self._entries.pop(key, None)
+        entry = self._entries.pop(key, None)
+        self._drop_from_series(entry)
 
     def clear(self) -> None:
         """Drop all entries (counters are retained)."""
         self._entries.clear()
+        self._series.clear()
+        self._probation.clear()
 
     def stats(self) -> CheckpointStats:
         return CheckpointStats(
@@ -273,6 +416,7 @@ class StateCheckpointCache:
             evictions=self.evictions,
             entries=len(self._entries),
             max_entries=self.max_entries,
+            deferred=self.deferred,
         )
 
     def __repr__(self) -> str:
@@ -344,6 +488,7 @@ class CacheRegistry:
         delta_entries: int,
         delta_bytes: int,
         checkpoint_entries: int,
+        checkpoint_admission: str = "always",
     ) -> CacheSlot:
         self._sweep()
         slot = self._slots.get(index_id)
@@ -353,7 +498,9 @@ class CacheRegistry:
         if slot.delta is None and (delta_entries > 0 or delta_bytes > 0):
             slot.delta = DeltaCache(delta_entries, delta_bytes)
         if slot.checkpoints is None and checkpoint_entries > 0:
-            slot.checkpoints = StateCheckpointCache(checkpoint_entries)
+            slot.checkpoints = StateCheckpointCache(
+                checkpoint_entries, admission=checkpoint_admission
+            )
         return slot
 
     def acquire(
@@ -362,13 +509,15 @@ class CacheRegistry:
         delta_entries: int = 0,
         delta_bytes: int = 0,
         checkpoint_entries: int = 0,
+        checkpoint_admission: str = "always",
     ) -> CacheSlot:
         """The shared slot for ``index_id``, reference-counted.
 
         Pair with :meth:`release`; the caches requested here are created
         on first use and shared verbatim with every other consumer."""
         slot = self._slot(
-            index_id, delta_entries, delta_bytes, checkpoint_entries
+            index_id, delta_entries, delta_bytes, checkpoint_entries,
+            checkpoint_admission,
         )
         slot.refs += 1
         slot.expires_at = None

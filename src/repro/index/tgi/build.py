@@ -38,6 +38,8 @@ from repro.kvstore.cluster import Cluster
 from repro.partitioning.mincut import MinCutPartitioner
 from repro.partitioning.random_part import hash_partition
 from repro.partitioning.temporal import collapse, partition_timespan
+from repro.stats.collect import collect_timespan_stats
+from repro.stats.model import GraphStatistics
 from repro.types import NodeId, TimePoint
 
 
@@ -103,9 +105,15 @@ def build_timespan(
     config: TGIConfig,
     cluster: Cluster,
     vc_store: VersionChainStore,
+    stats: Optional[GraphStatistics] = None,
 ) -> TimespanInfo:
     """Construct and persist one timespan; mutates ``initial`` to the state
-    at the end of the span (so spans chain during a full build)."""
+    at the end of the span (so spans chain during a full build).
+
+    When a :class:`~repro.stats.model.GraphStatistics` artifact is
+    passed, the span's statistics (partition summaries, boundary-cut
+    weights, event-rate histogram) are collected into it in the same
+    pass — no extra store reads."""
     # ---- dynamic partitioning (Sec. 4.5) -----------------------------
     collapsed = collapse(
         initial, span_events, t_start, t_end,
@@ -130,6 +138,19 @@ def build_timespan(
     members: Dict[int, Set[NodeId]] = {pid: set() for pid in range(num_pids)}
     for n, pid in node_pid.items():
         members[pid].add(n)
+
+    if stats is not None:
+        stats.spans[tsid] = collect_timespan_stats(
+            tsid,
+            t_start,
+            t_end,
+            collapsed.nodes,
+            collapsed.edges,
+            node_pid,
+            num_pids,
+            span_events,
+            buckets=config.stats_buckets,
+        )
 
     boundary: Dict[int, FrozenSet[NodeId]] = {}
     if config.replicate_boundary:

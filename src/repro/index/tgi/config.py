@@ -55,6 +55,13 @@ class TGIConfig:
             keyed ``(timespan, partition, time)``, seeded copy-on-read so
             warm queries skip the delta/event replay entirely (0 disables
             checkpoints, reproducing replay-from-root accounting exactly).
+        checkpoint_admission: ``"always"`` admits every replayed state;
+            ``"second-touch"`` defers a never-seen key to a key-only
+            probation set and admits only on its second replay, so
+            one-off scans stop churning the checkpoint LRU.
+        stats_buckets: event-rate histogram resolution of the build-time
+            :class:`~repro.stats.model.GraphStatistics` artifact (buckets
+            per timespan).
         pipeline: overlap independent fetch plans on a shared execution
             timeline (modeling Cassandra's async client drivers) and let
             the TAF handler drive whole analytics chunks through the
@@ -79,6 +86,8 @@ class TGIConfig:
     delta_cache_entries: int = 0
     delta_cache_bytes: int = 0
     checkpoint_entries: int = 0
+    checkpoint_admission: str = "always"
+    stats_buckets: int = 16
     pipeline: bool = True
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
@@ -103,3 +112,9 @@ class TGIConfig:
             raise IndexError_("delta_cache_bytes cannot be negative")
         if self.checkpoint_entries < 0:
             raise IndexError_("checkpoint_entries cannot be negative")
+        if self.checkpoint_admission not in ("always", "second-touch"):
+            raise IndexError_(
+                "checkpoint_admission must be 'always' or 'second-touch'"
+            )
+        if self.stats_buckets < 1:
+            raise IndexError_("stats_buckets must be positive")

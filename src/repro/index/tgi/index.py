@@ -41,6 +41,7 @@ self-contained.
 from __future__ import annotations
 
 import bisect
+from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deltas.base import Delta, StaticNode
@@ -73,8 +74,10 @@ from repro.index.tgi.layout import (
 from repro.index.tgi.query import PartialState, dedup_sorted
 from repro.index.tgi.version_chain import VersionChainStore
 from repro.kvstore.cluster import Cluster
-from repro.kvstore.cost import FetchStats
+from repro.kvstore.cost import CostModel, FetchStats
 from repro.partitioning.temporal import timespan_boundaries
+from repro.stats.calibrate import calibrate_apply_costs
+from repro.stats.model import GraphStatistics, prefer_near_seed
 from repro.types import NodeId, TimePoint
 
 #: Checkpoint payload for a replayed partition: (node states, edge attrs).
@@ -95,6 +98,13 @@ def _state_key(
 ) -> Tuple:
     """Checkpoint key of one partition's fully-replayed state at ``t``."""
     return ("pids", tsid, pid, t, include_aux)
+
+
+def _state_series(tsid: int, pid: int, include_aux: bool) -> Tuple:
+    """Time-series id of one partition's states (all checkpointed ``t``
+    values of the same ``(timespan, partition, aux)`` sort together, so
+    the cache can answer nearest-in-time probes)."""
+    return ("pids", tsid, pid, include_aux)
 
 
 def _snapshot_ckpt_key(tsid: int, t: TimePoint) -> Tuple:
@@ -121,11 +131,15 @@ class TGI(HistoricalGraphIndex):
             else None
         )
         self.checkpoints = (
-            StateCheckpointCache(self.config.checkpoint_entries)
+            StateCheckpointCache(
+                self.config.checkpoint_entries,
+                admission=self.config.checkpoint_admission,
+            )
             if self.config.checkpoint_entries > 0
             else None
         )
         self.executor = PlanExecutor(self.cluster, self.delta_cache)
+        self.stats = GraphStatistics()
         self._vc = VersionChainStore(self.cluster, self.config.placement_groups)
         self._spans: List[TimespanInfo] = []
         self._running = Graph()  # state at the end of indexed history
@@ -142,6 +156,10 @@ class TGI(HistoricalGraphIndex):
             raise TimeRangeError("cannot build an index over an empty history")
         self._append_spans(events)
         self._t_min = events[0].time
+        # measure the machine's actual decode/replay constants against
+        # the rows this build just wrote (a few ms; persisted with the
+        # index so apply-cost accounting predicts real Python-side cost)
+        self.stats.calibration = calibrate_apply_costs(self.cluster)
 
     def update(self, events: Sequence[Event]) -> None:
         """Append a batch of new events (paper: updates are accepted in
@@ -173,14 +191,18 @@ class TGI(HistoricalGraphIndex):
                 self.config,
                 self.cluster,
                 self._vc,
+                stats=self.stats,
             )
             self._spans.append(info)
-        self._vc.flush()
+        changed_chains = self._vc.flush()
         self._t_max = events[-1].time
         if self.delta_cache is not None:
-            # version-chain rows are rewritten by flush(); drop every
-            # cached row rather than track which chains changed
-            self.delta_cache.clear()
+            # selective invalidation: timespan rows are append-only and
+            # never change, and flush() reports exactly which version
+            # chains gained pointers — drop those rows, keep the rest of
+            # the working set warm across the batch update
+            self.delta_cache.bump_generation()
+            self.delta_cache.invalidate_many(changed_chains)
         # materialized-state checkpoints stay warm: timespans are
         # append-only, so a state replayed inside an existing span can
         # never be invalidated by new events (which land in new spans),
@@ -212,6 +234,20 @@ class TGI(HistoricalGraphIndex):
         from repro.session import GraphSession
 
         return GraphSession.from_index(self, **kwargs)
+
+    def use_calibrated_apply(self) -> CostModel:
+        """Switch the cluster's cost model to apply constants *measured*
+        at build time (``stats.calibration``): actual decode ms/KiB and
+        replay ms/item on the machine that built the index.  Falls back
+        to the fixed defaults when no calibration exists (e.g. an index
+        whose build predates statistics).  Returns the new model."""
+        model = self.config.cluster.cost_model.with_apply(
+            calibration=self.stats.calibration
+        )
+        cluster_cfg = _dc_replace(self.config.cluster, cost_model=model)
+        self.config = _dc_replace(self.config, cluster=cluster_cfg)
+        self.cluster.config = cluster_cfg
+        return model
 
     # ------------------------------------------------------------------
     # snapshot retrieval (Algorithm 1)
@@ -364,6 +400,169 @@ class TGI(HistoricalGraphIndex):
                 _state_key(span.tsid, pid, t, include_aux),
                 _clone_state((state.nodes, state.edge_attrs)),
                 _clone_state,
+                series=_state_series(span.tsid, pid, include_aux),
+                t=t,
+            )
+        return state
+
+    # ------------------------------------------------------------------
+    # nearest-in-time checkpoint seeding
+    # ------------------------------------------------------------------
+    def _gap_eventlist_keys(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t0: TimePoint,
+        t: TimePoint,
+        include_aux: bool,
+    ) -> List[DeltaKey]:
+        """Eventlist keys holding ``pid``'s events in ``(t0, t]`` — the
+        replay gap between a checkpointed state at ``t0`` and a query at
+        ``t``.  Eventlist ``j`` scopes ``(ts_j, te_j]``, so the gap needs
+        every list with ``te_j > t0`` and ``ts_j < t``."""
+        ns = self.config.placement_groups
+        keys: List[DeltaKey] = []
+        for j, (ts_j, te_j) in enumerate(span.eventlist_ranges):
+            if te_j <= t0:
+                continue
+            if ts_j >= t:
+                break
+            if pid in span.eventlist_pids.get(j, []):
+                keys.append(
+                    delta_key(span.tsid, sid_of_pid(pid, ns),
+                              TAG_EVENTLIST, j, pid)
+                )
+            if include_aux and pid in span.aux_eventlist_pids.get(j, []):
+                keys.append(
+                    delta_key(span.tsid, sid_of_pid(pid, ns),
+                              TAG_AUX_EVENTLIST, j, pid)
+                )
+        return keys
+
+    def _near_seed_candidate(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+    ) -> Optional[Tuple[TimePoint, List[DeltaKey]]]:
+        """Nearest-in-time seeding decision for one cold partition.
+
+        Probes the checkpoint cache for the latest state of ``(timespan,
+        partition, aux)`` at some ``t0 < t`` and — using the build-time
+        statistics (expected gap events from the event-rate histogram vs
+        the full replay-from-root volume) — decides whether forward
+        replay over the gap beats a cold fetch.  Returns ``(t0,
+        gap_keys)`` when seeding wins, else ``None``.  Non-perturbing:
+        callers holding the decision fetch the payload via ``lookup``.
+        """
+        cp = self.checkpoints
+        if cp is None:
+            return None
+        found = cp.nearest(_state_series(span.tsid, pid, include_aux), t)
+        if found is None:
+            return None
+        t0, _key = found
+        if t0 >= t:
+            # the exact-hit path handles t0 == t; never replay backward
+            return None
+        gap_keys = self._gap_eventlist_keys(span, pid, t0, t, include_aux)
+        path_groups, ekeys = self._snapshot_plan(
+            span, t, pids={pid}, include_aux=include_aux
+        )
+        num_cold = sum(len(g) for g in path_groups) + len(ekeys)
+        if not prefer_near_seed(
+            self.stats.span(span.tsid),
+            pid,
+            t0,
+            t,
+            num_cold,
+            len(gap_keys),
+            self.config.cluster.cost_model,
+            self.stats.calibration,
+            leaf_time=span.checkpoints[span.leaf_at(t)],
+        ):
+            return None
+        return t0, gap_keys
+
+    def _capture_near_seed(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+    ) -> Optional[Tuple[StatePayload, TimePoint, List[DeltaKey]]]:
+        """Decide *and capture* a near seed for one exact-missed
+        partition: the checkpointed payload at ``t0`` (cloned now, so a
+        later eviction cannot strand the caller after the cold keys were
+        dropped from the plan), the seed time, and the gap keys.
+        ``None`` when seeding loses the pricing or the entry vanished."""
+        seed = self._near_seed_candidate(span, pid, t, include_aux)
+        if seed is None:
+            return None
+        payload0 = self.checkpoints.lookup(
+            _state_key(span.tsid, pid, seed[0], include_aux)
+        )
+        if payload0 is None:
+            return None
+        return payload0, seed[0], seed[1]
+
+    @staticmethod
+    def _with_gap_group(
+        stage: FetchStage,
+        near: Dict[int, Tuple[StatePayload, TimePoint, List[DeltaKey]]],
+    ) -> FetchStage:
+        """Append the near seedings' deduplicated gap keys to a stage."""
+        if not near:
+            return stage
+        gap_union: List[DeltaKey] = []
+        gseen: Set[DeltaKey] = set()
+        for _payload0, _t0, gap_keys in near.values():
+            for key in gap_keys:
+                if key not in gseen:
+                    gseen.add(key)
+                    gap_union.append(key)
+        return FetchStage(
+            stage.label,
+            stage.groups + (KeyGroup("near-gap", tuple(gap_union)),),
+        )
+
+    def _replay_pid_from_seed(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+        payload: StatePayload,
+        t0: TimePoint,
+        gap_keys: Sequence[DeltaKey],
+        values: Dict[DeltaKey, object],
+    ) -> PartialState:
+        """Advance a checkpointed partition state from ``t0`` to ``t`` by
+        replaying only the gap eventlists, then admit the new state.
+        Exact for the same reason cold per-partition replay is: the build
+        writes every event into the eventlist of each partition it
+        touches, so the gap rows carry everything that moved this
+        partition between the two times."""
+        nodes, edge_attrs = payload  # already a private copy (lookup clones)
+        state = PartialState(scope=self._pid_scope(span, {pid}, include_aux))
+        state.nodes = nodes
+        state.edge_attrs = edge_attrs
+        state.apply_events(
+            dedup_sorted(
+                ev
+                for key in gap_keys
+                for ev in values[key]
+                if t0 < ev.time <= t
+            )
+        )
+        if self.checkpoints is not None:
+            self.checkpoints.admit(
+                _state_key(span.tsid, pid, t, include_aux),
+                _clone_state((state.nodes, state.edge_attrs)),
+                _clone_state,
+                series=_state_series(span.tsid, pid, include_aux),
+                t=t,
             )
         return state
 
@@ -417,29 +616,43 @@ class TGI(HistoricalGraphIndex):
         state = PartialState(scope=scope)
         hits = 0
         cold: Set[int] = set()
+        # pid -> (state payload at t0, t0, gap eventlist keys)
+        near: Dict[int, Tuple[StatePayload, TimePoint, List[DeltaKey]]] = {}
         for pid in sorted(pids):
             payload = self.checkpoints.lookup(
                 _state_key(span.tsid, pid, t, include_aux)
             )
-            if payload is None:
-                cold.add(pid)
-            else:
+            if payload is not None:
                 hits += 1
                 self._merge_state(state, *payload)
+                continue
+            captured = self._capture_near_seed(span, pid, t, include_aux)
+            if captured is not None:
+                near[pid] = captured
+            else:
+                cold.add(pid)
         plan = FetchPlan(f"load_pids({sorted(cold)}, t={t})")
         stage, _path_groups, _ekeys = self._snapshot_stage(
             span, t, "partial-state", pids=cold, include_aux=include_aux
         )
-        plan.stages.append(stage)
+        plan.stages.append(self._with_gap_group(stage, near))
         result = self.executor.execute(plan, clients=clients)
         for pid in sorted(cold):
             replayed = self._replay_pid(
                 span, pid, t, include_aux, result.values
             )
             self._merge_state(state, replayed.nodes, replayed.edge_attrs)
+        for pid in sorted(near):
+            payload0, t0, gap_keys = near[pid]
+            replayed = self._replay_pid_from_seed(
+                span, pid, t, include_aux, payload0, t0, gap_keys,
+                result.values,
+            )
+            self._merge_state(state, replayed.nodes, replayed.edge_attrs)
         stats = result.stats
         stats.checkpoint_hits += hits
         stats.checkpoint_misses += len(cold)
+        stats.checkpoint_near_hits += len(near)
         return state, scope, stats
 
     # ------------------------------------------------------------------
@@ -475,6 +688,7 @@ class TGI(HistoricalGraphIndex):
         out = finalize(result.values)
         result.stats.checkpoint_hits += ckpt["hits"]
         result.stats.checkpoint_misses += ckpt["misses"]
+        result.stats.checkpoint_near_hits += ckpt["near_hits"]
         self.last_fetch_stats = result.stats
         return out
 
@@ -496,22 +710,32 @@ class TGI(HistoricalGraphIndex):
         callers fold it into their fetch stats."""
         span = self._span_at(ts)
         ns = self.config.placement_groups
-        ckpt = {"hits": 0, "misses": 0}
+        ckpt = {"hits": 0, "misses": 0, "near_hits": 0}
 
         # metadata-only planning: one micro plan per distinct partition;
         # checkpointed partitions seed their replayed state instead (the
         # payload is captured now — a later eviction must not strand us
-        # after the fetch keys were already dropped from the plan)
+        # after the fetch keys were already dropped from the plan); a
+        # nearby earlier checkpoint seeds forward replay over the gap
+        # eventlists when the statistics price that under a cold fetch
         node_pid: Dict[NodeId, Optional[int]] = {}
         pid_plans: Dict[int, Tuple[List[List[DeltaKey]], List[DeltaKey]]] = {}
         seeded: Dict[int, StatePayload] = {}
+        seeded_near: Dict[
+            int, Tuple[StatePayload, TimePoint, List[DeltaKey]]
+        ] = {}
         chain_nodes: List[NodeId] = []
         for node in nodes:
             if node in node_pid:
                 continue
             pid = span.pid_of(node)
             node_pid[node] = pid
-            if pid is not None and pid not in pid_plans and pid not in seeded:
+            if (
+                pid is not None
+                and pid not in pid_plans
+                and pid not in seeded
+                and pid not in seeded_near
+            ):
                 payload = (
                     self.checkpoints.lookup(
                         _state_key(span.tsid, pid, ts, False)
@@ -523,14 +747,26 @@ class TGI(HistoricalGraphIndex):
                     seeded[pid] = payload
                     ckpt["hits"] += 1
                 else:
-                    if self.checkpoints is not None:
-                        ckpt["misses"] += 1
-                    pid_plans[pid] = self._snapshot_plan(span, ts, pids={pid})
+                    captured = (
+                        self._capture_near_seed(span, pid, ts, False)
+                        if self.checkpoints is not None
+                        else None
+                    )
+                    if captured is not None:
+                        seeded_near[pid] = captured
+                        ckpt["near_hits"] += 1
+                    else:
+                        if self.checkpoints is not None:
+                            ckpt["misses"] += 1
+                        pid_plans[pid] = self._snapshot_plan(
+                            span, ts, pids={pid}
+                        )
             if self._vc.has_chain(node):
                 chain_nodes.append(node)
 
         micro_keys: List[DeltaKey] = []
         ev_keys: List[DeltaKey] = []
+        gap_keys_union: List[DeltaKey] = []
         seen: Set[DeltaKey] = set()
         for pid in sorted(pid_plans):
             path_groups, ekeys = pid_plans[pid]
@@ -543,6 +779,11 @@ class TGI(HistoricalGraphIndex):
                 if key not in seen:
                     seen.add(key)
                     ev_keys.append(key)
+        for pid in sorted(seeded_near):
+            for key in seeded_near[pid][2]:
+                if key not in seen:
+                    seen.add(key)
+                    gap_keys_union.append(key)
         chain_keys = [version_chain_key(n, ns) for n in chain_nodes]
 
         plan = FetchPlan(
@@ -552,6 +793,7 @@ class TGI(HistoricalGraphIndex):
             "micros+chains",
             KeyGroup("micro-path", tuple(micro_keys)),
             KeyGroup("eventlist", tuple(ev_keys)),
+            KeyGroup("near-gap", tuple(gap_keys_union)),
             KeyGroup("version-chain", tuple(chain_keys)),
         )
 
@@ -586,6 +828,15 @@ class TGI(HistoricalGraphIndex):
                     nodes_map, _edges = seeded[pid]
                     for node in members:
                         initial[node] = nodes_map.get(node)
+                    continue
+                if pid in seeded_near:
+                    payload0, t0, gap_keys = seeded_near[pid]
+                    state = self._replay_pid_from_seed(
+                        span, pid, ts, False, payload0, t0, gap_keys,
+                        values,
+                    )
+                    for node in members:
+                        initial[node] = state.node_state(node)
                     continue
                 if self.checkpoints is not None:
                     # replay the whole partition (not just the queried
@@ -717,6 +968,7 @@ class TGI(HistoricalGraphIndex):
         out = finalize(result.values)
         result.stats.checkpoint_hits += ckpt["hits"]
         result.stats.checkpoint_misses += ckpt["misses"]
+        result.stats.checkpoint_near_hits += ckpt["near_hits"]
         self.last_fetch_stats = result.stats
         return out
 
@@ -742,7 +994,7 @@ class TGI(HistoricalGraphIndex):
         order = list(dict.fromkeys(centers))
         alive0 = [c for c in order if span.pid_of(c) is not None]
         plan = FetchPlan(f"khops({len(order)} centers, t={t}, k={k})")
-        ckpt = {"hits": 0, "misses": 0}
+        ckpt = {"hits": 0, "misses": 0, "near_hits": 0}
 
         merged = PartialState()
         covered: Set[NodeId] = set()
@@ -750,10 +1002,12 @@ class TGI(HistoricalGraphIndex):
         # partitions fetched but not yet folded into `merged`: the
         # stage's combined (path_groups, ekeys) — or (None, None) in
         # checkpoint mode, where settle replays per partition — plus the
-        # fetched pid set and its covered scope
+        # fetched pid set, its covered scope, and the stage's
+        # nearest-checkpoint seedings (pid -> payload at t0, t0, gap keys)
         pending: List[Tuple[
             Optional[List[List[DeltaKey]]], Optional[List[DeltaKey]],
             Set[int], Set[NodeId],
+            Dict[int, Tuple[StatePayload, TimePoint, List[DeltaKey]]],
         ]] = []
         members: Dict[NodeId, Set[NodeId]] = {}
         frontier: Dict[NodeId, Set[NodeId]] = {}
@@ -766,16 +1020,16 @@ class TGI(HistoricalGraphIndex):
             pids = pids - loaded
             if not pids:
                 return None
+            near: Dict[
+                int, Tuple[StatePayload, TimePoint, List[DeltaKey]]
+            ] = {}
             if self.checkpoints is not None:
                 cold: Set[int] = set()
                 for pid in sorted(pids):
                     payload = self.checkpoints.lookup(
                         _state_key(span.tsid, pid, t, include_aux)
                     )
-                    if payload is None:
-                        cold.add(pid)
-                        ckpt["misses"] += 1
-                    else:
+                    if payload is not None:
                         # seed the memoized state now; covered/merged are
                         # ready before the next frontier advance
                         ckpt["hits"] += 1
@@ -784,19 +1038,32 @@ class TGI(HistoricalGraphIndex):
                             self._pid_scope(span, {pid}, include_aux)
                         )
                         self._merge_state(merged, *payload)
+                        continue
+                    captured = self._capture_near_seed(
+                        span, pid, t, include_aux
+                    )
+                    if captured is not None:
+                        ckpt["near_hits"] += 1
+                        near[pid] = captured
+                    else:
+                        cold.add(pid)
+                        ckpt["misses"] += 1
                 pids = cold
-                if not pids:
+                if not pids and not near:
                     return None
             stage, path_groups, ekeys = self._snapshot_stage(
                 span, t, f"khop-frontier-{hop[0]}", pids=pids,
                 include_aux=include_aux,
             )
+            stage = self._with_gap_group(stage, near)
             loaded.update(pids)
+            loaded.update(near)
             if self.checkpoints is not None:
                 path_groups, ekeys = None, None
             pending.append(
                 (path_groups, ekeys, set(pids),
-                 self._pid_scope(span, pids, include_aux))
+                 self._pid_scope(span, set(pids) | set(near), include_aux),
+                 near)
             )
             return stage
 
@@ -804,13 +1071,24 @@ class TGI(HistoricalGraphIndex):
             """Fold fetched rows into the merged state, then resolve which
             of the last hop's candidates are alive at ``t``."""
             while pending:
-                path_groups, ekeys, pids, scope = pending.pop(0)
+                path_groups, ekeys, pids, scope, near = pending.pop(0)
                 if path_groups is None:
                     # checkpoint mode: per-partition replay, so each cold
-                    # partition's state is admitted as a checkpoint
+                    # partition's state is admitted as a checkpoint (and
+                    # near-seeded partitions advance from their earlier
+                    # checkpoint over just the gap eventlists)
                     for pid in sorted(pids):
                         state = self._replay_pid(
                             span, pid, t, include_aux, values
+                        )
+                        self._merge_state(
+                            merged, state.nodes, state.edge_attrs
+                        )
+                    for pid in sorted(near):
+                        payload0, t0, gap_keys = near[pid]
+                        state = self._replay_pid_from_seed(
+                            span, pid, t, include_aux, payload0, t0,
+                            gap_keys, values,
                         )
                         self._merge_state(
                             merged, state.nodes, state.edge_attrs

@@ -21,6 +21,7 @@ from repro.errors import IndexError_
 from repro.index.tgi.index import _snapshot_ckpt_key, _state_key
 from repro.index.tgi.layout import DeltaKey, version_chain_key
 from repro.kvstore.cost import simulate_plan
+from repro.stats.model import expected_khop_pids
 from repro.types import NodeId, TimePoint
 
 
@@ -49,11 +50,19 @@ class QueryPlan:
 
     ``notes`` carries planner remarks that are not key groups — e.g. how
     many partitions a warm :class:`~repro.exec.cache.StateCheckpointCache`
-    seeds without fetching."""
+    seeds without fetching.
+
+    ``expected_keys``, when set, is the *expected-cost* key set derived
+    from the build-time statistics (the frontier-growth model of
+    :func:`repro.stats.model.expected_khop_pids`): a subset of the sound
+    bound in ``steps`` that pricing and cost-based selection use.  The
+    steps stay the safe superset — what the fetch may read in the worst
+    case — while ``expected_keys`` is what it is *expected* to read."""
 
     query: str
     steps: List[PlanStep] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    expected_keys: Optional[Tuple[DeltaKey, ...]] = None
 
     @property
     def num_keys(self) -> int:
@@ -61,6 +70,13 @@ class QueryPlan:
 
     def all_keys(self) -> List[DeltaKey]:
         return [k for step in self.steps for k in step.keys]
+
+    def pricing_keys(self) -> List[DeltaKey]:
+        """Keys cost estimation should price: the statistics-backed
+        expected set when one exists, else the full (sound) bound."""
+        if self.expected_keys is not None:
+            return list(self.expected_keys)
+        return self.all_keys()
 
     def placements(self) -> Set[Tuple]:
         """Distinct placement keys the plan touches (parallelism bound)."""
@@ -76,6 +92,12 @@ class QueryPlan:
             if step.keys:
                 suffix = ", ..." if step.num_keys > 3 else ""
                 lines.append(f"      {preview}{suffix}")
+        if self.expected_keys is not None:
+            lines.append(
+                f"  expected: {len(self.expected_keys)} of "
+                f"{self.num_keys} deltas (stats frontier bound; "
+                f"pricing uses the expected set)"
+            )
         for note in self.notes:
             lines.append(f"  note: {note}")
         return "\n".join(lines)
@@ -97,8 +119,12 @@ def price_plan(cluster, plan: Union[QueryPlan, Sequence[DeltaKey]],
     charges each key's decode-plus-replay time (replay volume proxied
     from the raw payload size, since nothing has been decoded yet), so
     candidate comparison sees the same apply costs execution will report.
+
+    Plans carrying a statistics-backed expected key set are priced on
+    that set (the expected cost), not the sound worst-case bound — see
+    :attr:`QueryPlan.expected_keys`.
     """
-    keys = plan.all_keys() if isinstance(plan, QueryPlan) else list(plan)
+    keys = plan.pricing_keys() if isinstance(plan, QueryPlan) else list(plan)
     records = cluster.plan_records(keys, clients=clients)
     model = cluster.config.cost_model
     estimate = simulate_plan(records, model)
@@ -129,6 +155,23 @@ class TGIPlanner:
             if cp.peek(_state_key(span.tsid, pid, t, include_aux))
         }
 
+    def _near_pids(
+        self, span, pids: Set[int], t: TimePoint, include_aux: bool
+    ) -> Dict[int, List[DeltaKey]]:
+        """Partitions the fetch would near-seed from an earlier
+        checkpoint, mapped to the gap eventlist keys it would read
+        instead of the full replay-from-root key set.  Uses the exact
+        runtime decision helper (non-perturbing), so plans match what
+        execution does."""
+        if self.tgi.checkpoints is None:
+            return {}
+        out: Dict[int, List[DeltaKey]] = {}
+        for pid in sorted(pids):
+            seed = self.tgi._near_seed_candidate(span, pid, t, include_aux)
+            if seed is not None:
+                out[pid] = seed[1]
+        return out
+
     def plan_snapshot(self, t: TimePoint) -> QueryPlan:
         """Plan Algorithm 1 (GetSnapshot).
 
@@ -158,9 +201,18 @@ class TGIPlanner:
         plan = QueryPlan(query=f"node_history(node={node}, ts={ts}, te={te})")
         pid = span.pid_of(node)
         if pid is not None:
+            near = self._near_pids(span, {pid}, ts, False)
             if self._warm_pids(span, {pid}, ts, False):
                 plan.notes.append(
                     "initial state checkpoint-seeded (1 partition)"
+                )
+            elif near:
+                plan.steps.append(
+                    PlanStep("near-gap eventlists", tuple(near[pid]))
+                )
+                plan.notes.append(
+                    "initial state near-seeded from an earlier "
+                    "checkpoint (gap replay only)"
                 )
             else:
                 path_groups, ekeys = self.tgi._snapshot_plan(
@@ -240,6 +292,14 @@ class TGIPlanner:
         micro-partition map plus boundary metadata) to bound the partitions
         that could be touched, which is exactly the superset the fetch may
         read.
+
+        Without boundary replication the node-level adjacency is not in
+        the metadata, but the build-time statistics are: the sound bound
+        becomes the partitions within ``k`` levels of the start partition
+        in the boundary-cut adjacency graph, and on top of it the
+        frontier-growth model picks an *expected* partition set
+        (:attr:`QueryPlan.expected_keys`) that pricing uses — a real
+        expected-cost estimate instead of the whole-span fallback.
         """
         span = self.tgi._span_at(t)
         pid0 = span.pid_of(node)
@@ -247,9 +307,11 @@ class TGIPlanner:
             raise IndexError_(f"node {node} unknown in timespan {span.tsid}")
         include_aux = self.tgi.config.replicate_boundary
         plan = QueryPlan(query=f"khop(node={node}, t={t}, k={k})")
+        span_stats = self.tgi.stats.span(span.tsid)
 
         # bound the partitions that could be touched using metadata only
         pids: Set[int] = {pid0}
+        expected_pids: Optional[Set[int]] = None
         if include_aux:
             # with replication, hop h's neighbors live in the auxiliaries of
             # hop h-1's partitions; further pids come from boundary metadata
@@ -266,16 +328,39 @@ class TGIPlanner:
                     break
                 pids |= nxt
                 frontier_pids = nxt
+        elif span_stats is not None:
+            # sound bound: partitions within k cut-adjacency levels; the
+            # frontier-growth model then selects the expected subset
+            pids = {
+                pid for pid in span_stats.reachable_pids(pid0, k)
+                if pid < span.num_pids
+            }
+            est = expected_khop_pids(span_stats, pid0, k, pids)
+            expected_pids = set(est.pids)
+            plan.notes.append(
+                f"stats bound: expected {len(est.pids)}/{len(pids)} "
+                f"partitions (frontier model reaches "
+                f"~{est.reached_nodes:.0f} nodes)"
+            )
         else:
-            # without replication the metadata carries no adjacency, so the
-            # only safe bound is every partition present in the span — the
-            # actual fetch loads lazily and typically touches far fewer
+            # no statistics (pre-stats index object): the only safe bound
+            # is every partition present in the span — the actual fetch
+            # loads lazily and typically touches far fewer
             pids = set(range(span.num_pids))
         warm = self._warm_pids(span, pids, t, include_aux)
         if warm:
             pids = pids - warm
+            if expected_pids is not None:
+                expected_pids -= warm
             plan.notes.append(
                 f"{len(warm)} partitions checkpoint-seeded"
+            )
+        near = self._near_pids(span, pids, t, include_aux)
+        if near:
+            pids = pids - set(near)
+            plan.notes.append(
+                f"{len(near)} partitions near-seeded from earlier "
+                f"checkpoints (gap replay only)"
             )
         path_groups, ekeys = self.tgi._snapshot_plan(
             span, t, pids=pids, include_aux=include_aux
@@ -287,6 +372,23 @@ class TGIPlanner:
             )
         )
         plan.steps.append(PlanStep("partition eventlists", tuple(ekeys)))
+        if near:
+            gap_keys = tuple(
+                key for pid in sorted(near) for key in near[pid]
+            )
+            plan.steps.append(PlanStep("near-gap eventlists", gap_keys))
+        if expected_pids is not None:
+            exp_groups, exp_ekeys = self.tgi._snapshot_plan(
+                span, t, pids=expected_pids - set(near),
+                include_aux=include_aux,
+            )
+            expected: List[DeltaKey] = [
+                key for group in exp_groups for key in group
+            ]
+            expected.extend(exp_ekeys)
+            for pid in sorted(set(near) & expected_pids):
+                expected.extend(near[pid])
+            plan.expected_keys = tuple(expected)
         return plan
 
     def plan_khops(
@@ -307,20 +409,36 @@ class TGIPlanner:
         )
         merged: Dict[str, List[DeltaKey]] = {}
         seen: Set[DeltaKey] = set()
+        expected_union: List[DeltaKey] = []
+        expected_seen: Set[DeltaKey] = set()
+        all_expected = True
+        any_sub = False
         for center in dict.fromkeys(centers):
             try:
                 sub = self.plan_khop(center, t, k=k)
             except IndexError_:
                 continue
+            any_sub = True
             for step in sub.steps:
                 bucket = merged.setdefault(step.purpose, [])
                 for key in step.keys:
                     if key not in seen:
                         seen.add(key)
                         bucket.append(key)
+            if sub.expected_keys is None:
+                all_expected = False
+            else:
+                for key in sub.expected_keys:
+                    if key not in expected_seen:
+                        expected_seen.add(key)
+                        expected_union.append(key)
             for note in sub.notes:
                 if note not in plan.notes:
                     plan.notes.append(note)
         for purpose, keys in merged.items():
             plan.steps.append(PlanStep(purpose, tuple(keys)))
+        if any_sub and all_expected:
+            # shared frontier: the expected fetch is the deduplicated
+            # union of every center's expected key set
+            plan.expected_keys = tuple(expected_union)
         return plan

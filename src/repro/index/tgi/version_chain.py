@@ -47,17 +47,26 @@ class VersionChainStore:
             VersionPointer(t_min, t_max, key)
         )
 
-    def flush(self) -> None:
-        """Write/rewrite the chain row of every node touched since the last
-        flush (used both at initial build and on batch update)."""
+    def flush(self) -> List[DeltaKey]:
+        """Write/rewrite the chain rows that gained pointers since the
+        last flush (used both at initial build and on batch update).
+
+        Returns the keys whose stored content actually changed, so the
+        index can invalidate exactly those cached rows instead of
+        clearing the whole delta cache — a chain without new pointers is
+        skipped (its row is already stored with identical content)."""
+        changed: List[DeltaKey] = []
         for node, entries in self._pending.items():
+            if self._flushed.get(node) == len(entries):
+                continue
             entries.sort(key=lambda p: (p.t_min, p.t_max))
-            self._cluster.put(
-                version_chain_key(node, self._placement_groups), tuple(entries)
-            )
+            key = version_chain_key(node, self._placement_groups)
+            self._cluster.put(key, tuple(entries))
             self._flushed[node] = len(entries)
+            changed.append(key)
         # pending doubles as the authoritative in-memory copy so updates
         # can extend chains without re-reading rows
+        return changed
 
     # -- query side --------------------------------------------------------
     def has_chain(self, node: NodeId) -> bool:

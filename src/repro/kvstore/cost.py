@@ -80,12 +80,31 @@ class CostModel:
 
     def with_apply(
         self,
-        apply_per_kb_ms: float = DEFAULT_APPLY_PER_KB_MS,
-        replay_per_item_ms: float = DEFAULT_REPLAY_PER_ITEM_MS,
+        apply_per_kb_ms: Optional[float] = None,
+        replay_per_item_ms: Optional[float] = None,
+        calibration: Optional[object] = None,
     ) -> "CostModel":
-        """This model with client-side apply costing switched on."""
+        """This model with client-side apply costing switched on.
+
+        Constants resolve, most-specific first: explicit arguments, then
+        a build-time :class:`~repro.stats.model.ApplyCalibration` (duck-
+        typed — anything with ``apply_per_kb_ms`` / ``replay_per_item_ms``
+        attributes), then the fixed defaults.  ``TGI.use_calibrated_apply``
+        passes the index's calibration here, so an index built with
+        ``--apply-cost`` predicts the machine's *measured* Python-side
+        cost instead of a guess."""
         from dataclasses import replace
 
+        if apply_per_kb_ms is None:
+            apply_per_kb_ms = (
+                calibration.apply_per_kb_ms if calibration is not None
+                else DEFAULT_APPLY_PER_KB_MS
+            )
+        if replay_per_item_ms is None:
+            replay_per_item_ms = (
+                calibration.replay_per_item_ms if calibration is not None
+                else DEFAULT_REPLAY_PER_ITEM_MS
+            )
         return replace(
             self,
             apply_per_kb_ms=apply_per_kb_ms,
@@ -165,6 +184,10 @@ class FetchStats:
             outcomes — a hit means replay was seeded from a cached
             fully-replayed partition state instead of re-fetching and
             re-applying its rows (0 when checkpoints are off).
+        checkpoint_near_hits: nearest-in-time seedings — replay started
+            from a checkpoint at an *earlier* time in the same timespan
+            and only the eventlist gap between the two times was fetched
+            and applied (counted separately from exact hits).
     """
 
     requests: List[RequestRecord] = field(default_factory=list)
@@ -177,6 +200,7 @@ class FetchStats:
     cache_bytes_saved: int = 0
     checkpoint_hits: int = 0
     checkpoint_misses: int = 0
+    checkpoint_near_hits: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -202,6 +226,7 @@ class FetchStats:
         self.cache_bytes_saved += other.cache_bytes_saved
         self.checkpoint_hits += other.checkpoint_hits
         self.checkpoint_misses += other.checkpoint_misses
+        self.checkpoint_near_hits += other.checkpoint_near_hits
 
     def merge_concurrent(
         self, other: "FetchStats", completed_at_ms: float

@@ -67,6 +67,12 @@ class StorageNode:
                 break
             yield key, self._rows[key]
 
+    def items(self) -> Iterator[Tuple[KeyTuple, EncodedValue]]:
+        """All rows in clustering-key order (used by introspection and
+        the build-time apply-cost calibration)."""
+        for key in self._keys:
+            yield key, self._rows[key]
+
     def rank(self, key: KeyTuple) -> int:
         """Position of ``key`` in the node's sorted order (for contiguity
         checks by the cost model)."""

@@ -230,6 +230,7 @@ class GraphSession:
                 delta_entries=capacity,
                 delta_bytes=byte_bound,
                 checkpoint_entries=ckpt_capacity,
+                checkpoint_admission=tgi.config.checkpoint_admission,
             )
             self._registered = True
         if caching:
@@ -260,7 +261,10 @@ class GraphSession:
             else:
                 self.checkpoint_cache = (
                     tgi.checkpoints if tgi.checkpoints is not None
-                    else StateCheckpointCache(ckpt_capacity)
+                    else StateCheckpointCache(
+                        ckpt_capacity,
+                        admission=tgi.config.checkpoint_admission,
+                    )
                 )
             tgi.checkpoints = self.checkpoint_cache
         else:
@@ -381,22 +385,27 @@ class GraphSession:
     # ------------------------------------------------------------------
     def _khop_candidates(
         self, request: QueryRequest
-    ) -> Tuple[Dict[str, float], bool]:
-        """Predicted sim-ms per candidate k-hop plan, plus whether the
+    ) -> Tuple[Dict[str, float], bool, Dict[str, List[str]]]:
+        """Predicted sim-ms per candidate k-hop plan, whether the
         targeted bound could be planned at all (a single dead center
-        can't — the caller then lets Algorithm 4 raise cleanly)."""
+        can't — the caller then lets Algorithm 4 raise cleanly), and
+        each candidate's planner notes (why a plan prices the way it
+        does: stats bounds, checkpoint seedings, warm snapshots)."""
         assert request.t is not None
         clients = request.clients
+        snap_plan = self.planner.plan_snapshot(request.t)
         candidates: Dict[str, float] = {
             ALGO_SNAPSHOT_FIRST: price_plan(
-                self.tgi.cluster,
-                self.planner.plan_snapshot(request.t),
-                clients=clients,
+                self.tgi.cluster, snap_plan, clients=clients,
             )
+        }
+        notes: Dict[str, List[str]] = {
+            ALGO_SNAPSHOT_FIRST: list(snap_plan.notes)
         }
         per_center = 0.0
         union_keys: List = []
         union_seen = set()
+        khop_notes: List[str] = []
         plannable = False
         for center in dict.fromkeys(request.nodes):
             try:
@@ -405,11 +414,20 @@ class GraphSession:
                 continue
             plannable = True
             per_center += price_plan(self.tgi.cluster, sub, clients=clients)
-            for key in sub.all_keys():
+            if sub.expected_keys is not None:
+                khop_notes.append(
+                    f"center {center}: expected "
+                    f"{len(sub.expected_keys)}/{sub.num_keys} keys"
+                )
+            for note in sub.notes:
+                if note not in khop_notes:
+                    khop_notes.append(note)
+            for key in sub.pricing_keys():
                 if key not in union_seen:
                     union_seen.add(key)
                     union_keys.append(key)
         if plannable:
+            notes[ALGO_KHOP] = khop_notes
             if request.single:
                 candidates[ALGO_KHOP] = per_center
             else:
@@ -418,34 +436,35 @@ class GraphSession:
                     self.tgi.cluster, union_keys, clients=clients
                 )
                 candidates[ALGO_PER_CENTER] = per_center
-        return candidates, plannable
+                notes[ALGO_PER_CENTER] = list(khop_notes)
+        return candidates, plannable, notes
 
     def _choose_khop(
         self, request: QueryRequest
-    ) -> Tuple[str, Dict[str, float], Dict[str, float]]:
+    ) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, List[str]]]:
         """Resolve the algorithm for a k-hop request: forced choices pass
         through; ``auto`` takes the cheapest priced candidate (ties break
         toward the targeted bound, see :data:`_TIE_ORDER`), after the
         per-algorithm EWMA corrections learned from earlier queries.
         Returns the choice, the corrected candidate prices (what callers
-        report), and the raw model prices (what the feedback loop
-        compares actuals against)."""
-        raw, plannable = self._khop_candidates(request)
+        report), the raw model prices (what the feedback loop compares
+        actuals against), and each candidate's planner notes."""
+        raw, plannable, notes = self._khop_candidates(request)
         candidates = self._corrected(raw)
         if request.algorithm != ALGO_AUTO:
             chosen = request.algorithm
             if chosen == ALGO_PER_CENTER and request.single:
                 chosen = ALGO_KHOP  # one center: the loop *is* Algorithm 4
-            return chosen, candidates, raw
+            return chosen, candidates, raw, notes
         if not plannable:
             # no alive center to bound: run Algorithm 4, which raises (or
             # returns per-center Nones) without fetching a full snapshot
-            return ALGO_KHOP, candidates, raw
+            return ALGO_KHOP, candidates, raw, notes
         chosen = min(
             candidates,
             key=lambda name: (candidates[name], _TIE_ORDER[name]),
         )
-        return chosen, candidates, raw
+        return chosen, candidates, raw, notes
 
     def _predict(self, request: QueryRequest) -> Optional[float]:
         """Predicted cost for the non-k-hop kinds (single candidate)."""
@@ -524,7 +543,7 @@ class GraphSession:
 
     def _execute_khop(self, request: QueryRequest) -> QueryResult:
         tgi = self.tgi
-        chosen, candidates, raw = self._choose_khop(request)
+        chosen, candidates, raw, _notes = self._choose_khop(request)
         t, k, clients = request.t, request.k, request.clients
         if chosen == ALGO_KHOP:
             if request.single:
@@ -582,6 +601,7 @@ class GraphSession:
         """
         chosen: Optional[str] = None
         candidates: Dict[str, float] = {}
+        candidate_notes: Dict[str, List[str]] = {}
         if request.kind == "snapshot":
             plan = self.planner.plan_snapshot(request.t)
         elif request.kind == "node_state":
@@ -602,7 +622,9 @@ class GraphSession:
                 request.nodes[0], request.ts, request.te
             )
         elif request.kind == "khop":
-            chosen, candidates, _raw = self._choose_khop(request)
+            chosen, candidates, _raw, candidate_notes = (
+                self._choose_khop(request)
+            )
             if chosen == ALGO_SNAPSHOT_FIRST:
                 plan = self.planner.plan_snapshot(request.t)
             elif request.single:
@@ -618,7 +640,7 @@ class GraphSession:
 
         lines = [plan.explain()]
         records = self.tgi.cluster.plan_records(
-            plan.all_keys(), clients=request.clients
+            plan.pricing_keys(), clients=request.clients
         )
         est = price_plan(self.tgi.cluster, plan, clients=request.clients)
         lines.append(
@@ -632,6 +654,20 @@ class GraphSession:
                                        key=lambda kv: kv[1])
             )
             lines.append(f"candidates: {ranked} -> {chosen}")
+            # per-candidate verdicts: why each plan priced as it did and,
+            # for the losers, the margin it was rejected on
+            best = candidates.get(chosen)
+            for name, ms in sorted(candidates.items(),
+                                   key=lambda kv: kv[1]):
+                if name == chosen:
+                    verdict = "chosen"
+                elif best is not None:
+                    verdict = f"rejected (+{ms - best:.2f} sim-ms vs {chosen})"
+                else:
+                    verdict = "rejected"
+                lines.append(f"  - {name}: {ms:.2f} sim-ms — {verdict}")
+                for note in candidate_notes.get(name, []):
+                    lines.append(f"      note: {note}")
         if self.tgi.config.pipeline:
             lines.append(self._timeline_estimate(plan, request.clients))
         return "\n".join(lines)
@@ -641,12 +677,23 @@ class GraphSession:
         would issue (chained steps depend on round-1 data, so they form a
         second round) and lay them on an :class:`ExecutionTimeline` —
         overlap accrues only across concurrent plans, never within one
-        query's dependency chain."""
+        query's dependency chain.  Plans carrying a statistics-backed
+        expected key set are laid out over that set, so the timeline
+        agrees with the printed estimate rather than the worst-case
+        sound bound."""
+        pricing = (
+            set(plan.expected_keys)
+            if getattr(plan, "expected_keys", None) is not None
+            else None
+        )
         first_round: List = []
         chained_round: List = []
         for step in plan.steps:
             target = chained_round if step.chained else first_round
-            target.extend(step.keys)
+            target.extend(
+                key for key in step.keys
+                if pricing is None or key in pricing
+            )
         timeline = ExecutionTimeline(self.tgi.cluster.config.cost_model)
         at = 0.0
         for keys in (first_round, chained_round):

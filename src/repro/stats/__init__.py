@@ -1,0 +1,32 @@
+"""Build-time graph statistics (`GraphStatistics`): real planner bounds,
+calibrated apply costs, and replay-span pricing for nearest-in-time
+checkpoint reuse.  See :mod:`repro.stats.model` for the artifact shape,
+:mod:`repro.stats.collect` for build-time collection, and
+:mod:`repro.stats.calibrate` for the apply-cost microbenchmark.
+"""
+
+from repro.stats.calibrate import calibrate_apply_costs
+from repro.stats.collect import collect_timespan_stats
+from repro.stats.model import (
+    DEFAULT_STATS_BUCKETS,
+    ApplyCalibration,
+    GraphStatistics,
+    KhopEstimate,
+    PartitionStats,
+    TimespanStats,
+    expected_khop_pids,
+    prefer_near_seed,
+)
+
+__all__ = [
+    "ApplyCalibration",
+    "DEFAULT_STATS_BUCKETS",
+    "GraphStatistics",
+    "KhopEstimate",
+    "PartitionStats",
+    "TimespanStats",
+    "calibrate_apply_costs",
+    "collect_timespan_stats",
+    "expected_khop_pids",
+    "prefer_near_seed",
+]

@@ -1,0 +1,112 @@
+"""Build-time apply-cost microbenchmark.
+
+``CostModel``'s apply constants (payload decode per KiB, replay per
+item) defaulted to fixed guesses; this module measures the two
+quantities on the actual machine, against the actual rows a build just
+wrote, so ``apply_ms`` becomes a real predictor of Python-side cost.
+
+The benchmark is deliberately tiny — a stride sample of stored rows,
+decoded and replayed a few times with the best (least-noisy) repeat
+kept — so it adds milliseconds to a build, not seconds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Tuple
+
+from repro.kvstore.cost import (
+    DEFAULT_APPLY_PER_KB_MS,
+    DEFAULT_REPLAY_PER_ITEM_MS,
+)
+from repro.stats.model import ApplyCalibration
+
+#: Rows the microbenchmark samples (stride-spread over the key space).
+SAMPLE_ROWS = 48
+
+#: Timed repeats per measurement; the fastest repeat is kept.
+REPEATS = 3
+
+#: Lower bound on either constant (a measured 0 would make warm-path
+#: accounting claim replay is free, which it never is).
+FLOOR_MS = 1e-5
+
+
+def _best_ms(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e3
+
+
+def calibrate_apply_costs(
+    cluster, sample_rows: int = SAMPLE_ROWS, repeats: int = REPEATS
+) -> ApplyCalibration:
+    """Measure decode ms/KiB and replay ms/item against ``cluster``'s
+    stored rows.
+
+    Returns the fixed defaults (sample counts 0) when the cluster holds
+    nothing to measure — callers can always trust the returned constants.
+    """
+    # local imports: this module is reached from repro.index.tgi.index at
+    # build time, and the replay half needs the query machinery from the
+    # same package — importing it lazily keeps the package import acyclic
+    from repro.deltas.base import Delta
+    from repro.deltas.eventlist import EventList
+    from repro.index.tgi.query import PartialState
+    from repro.kvstore.codec import decode
+
+    encoded: List[Any] = []
+    seen = set()
+    for machine in cluster.machines:
+        for key, value in machine.items():
+            if key in seen:
+                continue
+            seen.add(key)
+            encoded.append(value)
+    if not encoded:
+        return ApplyCalibration(
+            DEFAULT_APPLY_PER_KB_MS, DEFAULT_REPLAY_PER_ITEM_MS
+        )
+    stride = max(1, len(encoded) // sample_rows)
+    sampled = encoded[::stride][:sample_rows]
+
+    raw_kib = sum(v.raw_size for v in sampled) / 1024.0
+    decode_ms = _best_ms(
+        lambda: [decode(v.payload) for v in sampled], repeats
+    )
+    apply_per_kb = max(
+        decode_ms / raw_kib if raw_kib > 0 else FLOOR_MS, FLOOR_MS
+    )
+
+    values = [decode(v.payload) for v in sampled]
+    replayable: List[Tuple[str, Any, int]] = []
+    for value in values:
+        if isinstance(value, Delta):
+            replayable.append(("delta", value, len(value)))
+        elif isinstance(value, EventList):
+            replayable.append(("events", value, len(value.events)))
+    items = sum(n for _kind, _v, n in replayable)
+
+    def _replay() -> None:
+        state = PartialState()
+        for kind, value, _n in replayable:
+            if kind == "delta":
+                state.load_delta(value)
+            else:
+                state.apply_events(value.events)
+
+    if items > 0:
+        replay_ms = _best_ms(_replay, repeats)
+        replay_per_item = max(replay_ms / items, FLOOR_MS)
+    else:
+        replay_per_item = DEFAULT_REPLAY_PER_ITEM_MS
+
+    return ApplyCalibration(
+        apply_per_kb_ms=apply_per_kb,
+        replay_per_item_ms=replay_per_item,
+        sample_rows=len(sampled),
+        sample_items=items,
+    )

@@ -1,0 +1,131 @@
+"""Build-time collection of :class:`~repro.stats.model.TimespanStats`.
+
+Runs inside ``build_timespan`` with the inputs the builder already has —
+the span's collapsed graph, the micro-partition assignment, and the raw
+event stream — so statistics collection adds one linear pass and no
+extra store reads.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence, Tuple
+
+from repro.graph.events import Event
+from repro.stats.model import (
+    DEFAULT_STATS_BUCKETS,
+    PartitionStats,
+    TimespanStats,
+)
+from repro.types import EdgeId, NodeId, TimePoint
+
+
+def _bucket_bounds(
+    t_start: TimePoint, t_end: TimePoint, buckets: int
+) -> Tuple[float, ...]:
+    """``buckets + 1`` monotone bounds over ``(t_start - 1, t_end)``.
+
+    The lower bound sits just before the span's first event time (event
+    scopes are half-open ``(lo, hi]``); degenerate ranges collapse to a
+    single bucket."""
+    lo = float(t_start) - 1.0
+    hi = float(max(t_end, t_start))
+    if hi <= lo:
+        hi = lo + 1.0
+    buckets = max(1, buckets)
+    step = (hi - lo) / buckets
+    bounds = [lo + i * step for i in range(buckets)]
+    bounds.append(hi)
+    return tuple(bounds)
+
+
+def collect_timespan_stats(
+    tsid: int,
+    t_start: TimePoint,
+    t_end: TimePoint,
+    collapsed_nodes: Sequence[NodeId],
+    collapsed_edges: Sequence[EdgeId],
+    node_pid: Dict[NodeId, int],
+    num_pids: int,
+    span_events: Sequence[Event],
+    buckets: int = DEFAULT_STATS_BUCKETS,
+) -> TimespanStats:
+    """Summarize one timespan for the statistics artifact.
+
+    Degrees, internal/cut edge counts and pairwise cut weights are over
+    the collapsed graph (what partitioning and any in-span traversal
+    see); event counts are attributed to every partition an event
+    touches — the same replication rule the builder uses when writing
+    partitioned eventlists, so the histogram predicts eventlist replay
+    volume exactly.
+    """
+    degree: Dict[NodeId, int] = {}
+    internal: Dict[int, int] = {}
+    cut: Dict[int, int] = {}
+    cut_weights: Dict[int, Dict[int, int]] = {}
+    for (u, v) in collapsed_edges:
+        degree[u] = degree.get(u, 0) + 1
+        degree[v] = degree.get(v, 0) + 1
+        pu, pv = node_pid.get(u), node_pid.get(v)
+        if pu is None or pv is None:
+            continue
+        if pu == pv:
+            internal[pu] = internal.get(pu, 0) + 1
+        else:
+            cut[pu] = cut.get(pu, 0) + 1
+            cut[pv] = cut.get(pv, 0) + 1
+            cut_weights.setdefault(pu, {})[pv] = (
+                cut_weights.setdefault(pu, {}).get(pv, 0) + 1
+            )
+            cut_weights.setdefault(pv, {})[pu] = (
+                cut_weights.setdefault(pv, {}).get(pu, 0) + 1
+            )
+
+    members: Dict[int, List[NodeId]] = {}
+    for node, pid in node_pid.items():
+        members.setdefault(pid, []).append(node)
+
+    bounds = _bucket_bounds(t_start, t_end, buckets)
+    nbuckets = len(bounds) - 1
+    events_per_bucket: Dict[int, List[int]] = {}
+    events_per_pid: Dict[int, int] = {}
+    for ev in span_events:
+        touched = {node_pid.get(n) for n in set(ev.entities)} - {None}
+        if not touched:
+            continue
+        # rightmost bucket whose lower bound is < ev.time (scopes are
+        # half-open on the left, like eventlists)
+        b = min(nbuckets - 1, max(0, bisect_left(bounds, ev.time) - 1))
+        for pid in touched:
+            events_per_pid[pid] = events_per_pid.get(pid, 0) + 1
+            events_per_bucket.setdefault(pid, [0] * nbuckets)[b] += 1
+
+    partitions: Dict[int, PartitionStats] = {}
+    for pid in range(num_pids):
+        nodes = members.get(pid, [])
+        degrees = [degree.get(n, 0) for n in nodes]
+        partitions[pid] = PartitionStats(
+            pid=pid,
+            nodes=len(nodes),
+            internal_edges=internal.get(pid, 0),
+            cut_edges=cut.get(pid, 0),
+            degree_sum=sum(degrees),
+            degree_max=max(degrees, default=0),
+            events=events_per_pid.get(pid, 0),
+            events_per_bucket=tuple(
+                events_per_bucket.get(pid, [0] * nbuckets)
+            ),
+        )
+
+    return TimespanStats(
+        tsid=tsid,
+        t_start=t_start,
+        t_end=t_end,
+        nodes=len(collapsed_nodes),
+        edges=len(collapsed_edges),
+        num_pids=num_pids,
+        events=len(span_events),
+        bucket_bounds=bounds,
+        partitions=partitions,
+        cut_weights=cut_weights,
+    )

@@ -29,7 +29,12 @@ _MAGIC = "hgs-index"
 # TGI a `checkpoints` attribute; version-3 files would fail on config
 # access during checkpoint-aware planning (and silently predate the
 # pipeline-default flip)
-_FORMAT_VERSION = 4
+# 5: the TGI carries a `stats` GraphStatistics artifact (per-timespan
+# partition/degree/cut summaries, event-rate histograms, apply-cost
+# calibration) that planning, pricing and nearest-in-time checkpoint
+# seeding read; version-4 files lack it and would plan with the
+# degenerate whole-span bound while claiming stats-backed estimates
+_FORMAT_VERSION = 5
 
 
 class PersistenceError(HGSError):

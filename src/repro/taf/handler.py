@@ -60,6 +60,7 @@ class ParallelFetchStats:
     apply_ms: float = 0.0
     checkpoint_hits: int = 0
     checkpoint_misses: int = 0
+    checkpoint_near_hits: int = 0
     pipelined_ms: Optional[float] = None
 
     @property
@@ -80,6 +81,7 @@ class ParallelFetchStats:
         self.apply_ms += fetch.apply_ms
         self.checkpoint_hits += fetch.checkpoint_hits
         self.checkpoint_misses += fetch.checkpoint_misses
+        self.checkpoint_near_hits += fetch.checkpoint_near_hits
 
 
 class TGIHandler:
@@ -168,6 +170,7 @@ class TGIHandler:
                 finalizers.append(finalize)
                 stats.checkpoint_hits += ckpt["hits"]
                 stats.checkpoint_misses += ckpt["misses"]
+                stats.checkpoint_near_hits += ckpt["near_hits"]
             pipelined = self.tgi.executor.execute_many(
                 plans, clients=self.clients_per_partition, pipelined=True,
             )
@@ -306,6 +309,7 @@ class TGIHandler:
                 total.apply_ms += fetch.apply_ms
                 total.checkpoint_hits += fetch.checkpoint_hits
                 total.checkpoint_misses += fetch.checkpoint_misses
+                total.checkpoint_near_hits += fetch.checkpoint_near_hits
                 if sg is not None:
                     out.append(sg)
             total.partition_sim_ms.append(sim_ms)
@@ -385,6 +389,7 @@ class TGIHandler:
         for ckpt in ckpt_counters:
             pipelined.stats.checkpoint_hits += ckpt["hits"]
             pipelined.stats.checkpoint_misses += ckpt["misses"]
+            pipelined.stats.checkpoint_near_hits += ckpt["near_hits"]
 
         subgraphs: Dict[NodeId, Optional[SubgraphT]] = {}
         for center in order:

@@ -265,15 +265,22 @@ def test_cache_does_not_change_results(events):
         )
 
 
-def test_cache_invalidated_on_update(events):
+def test_cache_selectively_invalidated_on_update(events):
+    """A batch update drops only the version-chain rows whose content
+    changed; append-only timespan rows stay warm (the old behavior was a
+    blanket ``clear()``)."""
     idx = make_tgi(events[:400], delta_cache_entries=4096)
     node = _probe_nodes(events, 1)[0]
     idx.get_node_history(node, 100, 390)
-    assert len(idx.delta_cache) > 0
+    warm_before = len(idx.delta_cache)
+    assert warm_before > 0
     idx.update(events[400:])
-    assert len(idx.delta_cache) == 0  # chains rewritten; cache dropped
-    from repro.graph.static import Graph
+    # span rows survive; only rewritten chains were invalidated
+    assert len(idx.delta_cache) > 0
+    stats = idx.delta_cache.stats()
+    assert stats.generation == 2  # one epoch per build/update batch
     from tests.helpers import assert_history_equivalent
+    from repro.graph.static import Graph
 
     assert_history_equivalent(idx, events, node, 100, 480)
     assert idx.get_snapshot(480) == Graph.replay(events, until=480)
