@@ -1,0 +1,245 @@
+"""Columnar eventlist codec vs pickle: decode and replay microbenchmarks.
+
+The columnar codec stores an eventlist as packed parallel arrays with a
+pickled attribute side-table; decode is a zero-copy ``memoryview`` wrap
+and replay reads the columns directly instead of materializing ``Event``
+objects.  This bench builds dataset 1 twice — once per codec, same
+build parameters — and measures:
+
+1. **Replay ms/item** — the full payload-to-state path a query pays per
+   fetched eventlist row: decode the stored payload, then apply each
+   version chain through ``apply_eventlists``.  For pickle that means
+   unpickling thousands of frozen ``Event`` dataclasses and replaying
+   them one ``apply_event`` at a time; for columnar it is a buffer wrap
+   plus the bulk column kernel.  The acceptance bar is a **>= 5x** drop
+   for the columnar codec.
+2. **Decode ms/KiB** — via :func:`calibrate_apply_costs`, the same
+   microbenchmark builds run, so the reported constants are exactly
+   what the cost model calibrates against.
+3. **Apply lanes** — warm k-hop probes replayed serially vs striped
+   over ``apply_workers=4`` threads, with member-identical results
+   required (the lanes change wall-clock scheduling only, never
+   results).
+
+Results are written to ``BENCH_columnar_replay.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.deltas.columnar import ColumnarEventList
+from repro.deltas.eventlist import EventList
+from repro.index.tgi import TGI, TGIConfig
+from repro.index.tgi.layout import TAG_AUX_EVENTLIST, TAG_EVENTLIST
+from repro.index.tgi.query import PartialState
+from repro.kvstore.cluster import ClusterConfig
+from repro.kvstore.codec import decode
+from repro.stats.calibrate import calibrate_apply_costs
+
+from benchmarks.conftest import (
+    BENCH_EVENTLIST,
+    BENCH_PS,
+    BENCH_SPAN,
+    print_series,
+    probe_nodes,
+)
+
+M = 4
+N_CENTERS = 12
+REPLAY_BAR = 5.0
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_columnar_replay.json"
+)
+
+
+def _build(events, codec, apply_workers=1, checkpoints=0):
+    tgi = TGI(TGIConfig(
+        events_per_timespan=BENCH_SPAN,
+        eventlist_size=BENCH_EVENTLIST,
+        micro_partition_size=BENCH_PS,
+        checkpoint_entries=checkpoints,
+        apply_workers=apply_workers,
+        cluster=ClusterConfig(num_machines=M, codec=codec),
+    ))
+    tgi.build(events)
+    return tgi
+
+
+def _eventlist_chains(cluster):
+    """Stored eventlist payloads grouped into version chains, the way
+    ``_replay_pid_state`` applies them (one ``apply_eventlists`` call
+    per chain, rows in index order)."""
+    chains = {}
+    items = 0
+    raw = 0
+    for machine in cluster.machines:
+        for key, enc in machine.items():
+            value = decode(enc.payload)
+            if isinstance(value, (EventList, ColumnarEventList)):
+                tag, idx = key[2]
+                group = (
+                    (key[0], key[1], tag, key[3])
+                    if tag in (TAG_EVENTLIST, TAG_AUX_EVENTLIST)
+                    else key
+                )
+                chains.setdefault(group, []).append((idx, enc.payload))
+                items += len(value)
+                raw += enc.raw_size
+    ordered = [
+        [p for _i, p in sorted(rows, key=lambda r: r[0])]
+        for _g, rows in sorted(chains.items(), key=lambda kv: repr(kv[0]))
+    ]
+    return ordered, items, raw
+
+
+@pytest.fixture(scope="module")
+def codec_costs(dataset1_events):
+    """Measured decode/replay costs per codec on identical builds.
+
+    ``replay_ms_per_item`` is end-to-end payload-to-state: decode every
+    stored eventlist row, apply the chains, freeze the resulting node
+    states.  The calibration constants (what ``CostModel`` actually
+    consumes, blended over delta rows too) ride along for reference.
+    """
+    out = {}
+    for codec in ("pickle", "columnar"):
+        tgi = _build(dataset1_events, codec)
+        cal = calibrate_apply_costs(tgi.cluster, sample_rows=64, repeats=5)
+        chains, items, raw = _eventlist_chains(tgi.cluster)
+
+        def _replay():
+            state = PartialState()
+            for chain in chains:
+                state.apply_eventlists([decode(p) for p in chain])
+            state.node_state(0)  # freeze pending accumulators
+
+        best = float("inf")
+        for _ in range(7):
+            start = time.perf_counter()
+            _replay()
+            best = min(best, time.perf_counter() - start)
+        out[codec] = {
+            "replay_ms_per_item": best * 1e3 / items,
+            "decode_ms_per_kib": cal.apply_per_kb_ms,
+            "eventlist_items": items,
+            "eventlist_chains": len(chains),
+            "eventlist_kib": round(raw / 1024.0, 1),
+            "calibrated_replay_ms_per_item": cal.replay_per_item_ms,
+            "calibrated_items_per_kib": cal.items_per_kb,
+            "stored_kib": tgi.cluster.stored_bytes // 1024,
+        }
+    return out
+
+
+@pytest.fixture(scope="module")
+def lanes(dataset1_events):
+    """Warm near-seeded k-hop replay, serial vs 4 apply lanes."""
+    events = dataset1_events
+    centers = probe_nodes(events, N_CENTERS, seed=23,
+                          alive_at=events[-1].time)
+    out = {}
+    graphs = {}
+    for workers in (1, 4):
+        tgi = _build(events, "columnar", apply_workers=workers,
+                     checkpoints=4096)
+        span = tgi._spans[-1]
+        t1 = (span.t_start + span.t_end * 3) // 4
+        t2 = min(t1 + (span.t_end - span.t_start) // 50, tgi._t_max)
+        tgi.get_khops(centers, t1, k=2)  # checkpoint states at t1
+        start = time.perf_counter()
+        graphs[workers] = tgi.get_khops(centers, t2, k=2)
+        out[workers] = {
+            "wall_ms": (time.perf_counter() - start) * 1e3,
+            "near_hits": tgi.last_fetch_stats.checkpoint_near_hits,
+        }
+    out["identical"] = all(
+        (a is None and b is None) or (a is not None and a == b)
+        for a, b in zip(graphs[1], graphs[4])
+    )
+    return out
+
+
+def test_columnar_replay_beats_pickle_5x(benchmark, codec_costs):
+    def _check():
+        ratio = (
+            codec_costs["pickle"]["replay_ms_per_item"]
+            / codec_costs["columnar"]["replay_ms_per_item"]
+        )
+        assert ratio >= REPLAY_BAR
+        # zero-copy decode should also win, just not by a fixed bar
+        assert (codec_costs["columnar"]["decode_ms_per_kib"]
+                < codec_costs["pickle"]["decode_ms_per_kib"])
+        return ratio
+
+    ratio = benchmark.pedantic(_check, rounds=1, iterations=1)
+    print_series(
+        f"Eventlist codec payload-to-state costs (dataset 1, m={M})",
+        "codec     decode ms/KiB  replay ms/item  list KiB",
+        [
+            f"{codec:<9} {row['decode_ms_per_kib']:>12.4f}  "
+            f"{row['replay_ms_per_item']:>13.6f}  "
+            f"{row['eventlist_kib']:>8.1f}"
+            for codec, row in codec_costs.items()
+        ] + [f"replay speedup: {ratio:.1f}x (bar {REPLAY_BAR:.0f}x)"],
+    )
+
+
+def test_apply_lanes_member_identical(benchmark, lanes):
+    def _check():
+        assert lanes["identical"]
+        assert lanes[1]["near_hits"] > 0
+        assert lanes[4]["near_hits"] == lanes[1]["near_hits"]
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+    print_series(
+        "Warm k-hop replay, serial vs 4 apply lanes", "",
+        [
+            f"serial {lanes[1]['wall_ms']:.1f} ms, 4 lanes "
+            f"{lanes[4]['wall_ms']:.1f} ms "
+            f"(identical={lanes['identical']})",
+        ],
+    )
+
+
+def test_emit_json(benchmark, codec_costs, lanes):
+    def _emit():
+        ratio = (
+            codec_costs["pickle"]["replay_ms_per_item"]
+            / codec_costs["columnar"]["replay_ms_per_item"]
+        )
+        payload = {
+            "dataset": 1,
+            "m": M,
+            "replay_bar_x": REPLAY_BAR,
+            "replay_speedup_x": round(ratio, 2),
+            "decode_speedup_x": round(
+                codec_costs["pickle"]["decode_ms_per_kib"]
+                / codec_costs["columnar"]["decode_ms_per_kib"], 2
+            ),
+            "codecs": {
+                codec: {
+                    k: round(v, 6) if isinstance(v, float) else v
+                    for k, v in row.items()
+                }
+                for codec, row in codec_costs.items()
+            },
+            "apply_lanes": {
+                "serial_wall_ms": round(lanes[1]["wall_ms"], 2),
+                "parallel4_wall_ms": round(lanes[4]["wall_ms"], 2),
+                "near_hits": lanes[1]["near_hits"],
+                "identical": lanes["identical"],
+            },
+        }
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        return payload
+
+    payload = benchmark.pedantic(_emit, rounds=1, iterations=1)
+    assert RESULT_PATH.exists()
+    assert payload["replay_speedup_x"] >= REPLAY_BAR
+    assert payload["apply_lanes"]["identical"]

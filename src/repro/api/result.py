@@ -38,6 +38,10 @@ class QueryStats:
         checkpoint_near_hits: nearest-in-time seedings — replay started
             from a checkpoint at an earlier time and fetched only the
             eventlist gap between the two times.
+        decoded_events: Event objects materialized from columnar rows
+            while answering the query (0 when every row was pickled, or
+            when the bulk replay kernel applied the arrays directly
+            without building Event objects at all).
         algorithm: the plan the session executed (e.g. ``snapshot-first``).
         predicted_ms: the cost model's estimate for the chosen plan,
             priced via ``Cluster.plan_records`` before fetching.
@@ -57,6 +61,7 @@ class QueryStats:
     checkpoint_hits: int = 0
     checkpoint_misses: int = 0
     checkpoint_near_hits: int = 0
+    decoded_events: int = 0
     algorithm: Optional[str] = None
     predicted_ms: Optional[float] = None
     candidates: Dict[str, float] = field(default_factory=dict)
@@ -96,6 +101,7 @@ class QueryStats:
             checkpoint_hits=getattr(stats, "checkpoint_hits", 0),
             checkpoint_misses=getattr(stats, "checkpoint_misses", 0),
             checkpoint_near_hits=getattr(stats, "checkpoint_near_hits", 0),
+            decoded_events=getattr(stats, "decoded_events", 0),
             algorithm=algorithm,
             predicted_ms=predicted_ms,
             candidates=dict(candidates or {}),
@@ -130,6 +136,8 @@ class QueryStats:
                 "misses": self.checkpoint_misses,
                 "near_hits": self.checkpoint_near_hits,
             }
+        if self.decoded_events:
+            out["decoded_events"] = self.decoded_events
         if self.algorithm is not None:
             out["algorithm"] = self.algorithm
             out["actual_ms"] = round(self.actual_ms, 2)

@@ -25,7 +25,7 @@ from repro.api import ALGO_AUTO, ALGO_KHOP, ALGO_SNAPSHOT_FIRST, QueryRequest, Q
 from repro.graph.static import Graph
 from repro.index.tgi import TGI, PartitioningStrategy, TGIConfig
 from repro.io import read_events, write_events
-from repro.kvstore.cluster import ClusterConfig
+from repro.kvstore.cluster import CODECS, ClusterConfig
 from repro.kvstore.cost import CostModel
 from repro.session import GraphSession
 from repro.storage import load_index, save_index
@@ -66,6 +66,18 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--machines", type=int, default=1, help="m")
     build.add_argument("--replication", type=int, default=1, help="r")
     build.add_argument("--compress", action="store_true")
+    build.add_argument("--codec", choices=list(CODECS), default="columnar",
+                       help="eventlist storage codec: columnar packs "
+                       "events as parallel int64/uint8 arrays with "
+                       "zero-copy decode and bulk replay; pickle stores "
+                       "the EventList object (rows a columnar pack "
+                       "cannot represent fall back to pickle either way)")
+    build.add_argument("--apply-workers", type=int, default=1,
+                       help="client-side replay lanes: partitions replay "
+                       "on a thread pool of this size (and the "
+                       "simulation stripes costed apply stages across "
+                       "as many timeline lanes); results are "
+                       "bit-identical to serial")
     build.add_argument("--mincut", action="store_true",
                        help="locality-aware micro partitioning")
     build.add_argument("--replicate-boundary", action="store_true",
@@ -168,11 +180,13 @@ def _cmd_build(args: argparse.Namespace) -> int:
         delta_cache_bytes=args.cache_bytes,
         checkpoint_entries=args.checkpoints,
         checkpoint_admission=args.checkpoint_admission,
+        apply_workers=args.apply_workers,
         pipeline=args.pipeline,
         cluster=ClusterConfig(
             num_machines=args.machines,
             replication=args.replication,
             compress=args.compress,
+            codec=args.codec,
             cost_model=CostModel(),
         ),
     )
@@ -306,6 +320,8 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "stored_kib": index.cluster.stored_bytes // 1024,
                 "machines": index.config.cluster.num_machines,
                 "replication": index.config.cluster.replication,
+                "codec": index.config.cluster.codec,
+                "apply_workers": index.config.apply_workers,
                 "delta_cache_entries": index.config.delta_cache_entries,
                 "delta_cache_bytes": index.config.delta_cache_bytes,
                 "checkpoint_entries": index.config.checkpoint_entries,
@@ -325,6 +341,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                             ),
                             "sample_rows": cal.sample_rows,
                             "sample_items": cal.sample_items,
+                            "items_per_kb": round(cal.items_per_kb, 2),
                         }
                         if cal is not None
                         else None

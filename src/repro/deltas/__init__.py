@@ -1,6 +1,11 @@
 """The delta framework (paper Sec. 4.1): deltas, eventlists, snapshots."""
 
 from repro.deltas.base import Delta, EMPTY_DELTA, StaticEdge, StaticNode
+from repro.deltas.columnar import (
+    ColumnarEventList,
+    decoded_events_total,
+    pack_eventlist,
+)
 from repro.deltas.eventlist import (
     EventList,
     PartitionedEventList,
@@ -20,6 +25,9 @@ __all__ = [
     "EMPTY_DELTA",
     "StaticNode",
     "StaticEdge",
+    "ColumnarEventList",
+    "decoded_events_total",
+    "pack_eventlist",
     "EventList",
     "PartitionedEventList",
     "partition_eventlist",

@@ -1,0 +1,392 @@
+"""Columnar eventlist encoding: packed parallel arrays, zero-copy decode.
+
+The paper's prototype pickled eventlists as tuples of ``Event`` objects;
+profiling (PR 5's apply calibration) showed warm-path retrieval spends
+most of its simulated *and* wall-clock time in that object churn —
+unpickling thousands of small frozen dataclasses and replaying them one
+attribute access at a time.  This module stores an eventlist as six
+packed sections instead:
+
+====== ======================= =======================================
+offset section                 contents
+====== ======================= =======================================
+0      version                 1 byte, currently ``1``
+1      header                  ``struct '=qqq'``: ts, te, n
+25     times                   ``n`` × int64
+25+8n  seqs                    ``n`` × int64
+25+16n kinds                   ``n`` × uint8 (:class:`EventKind` value)
+25+17n nodes                   ``n`` × int64
+25+25n others                  ``n`` × int64 (int64-min = no endpoint)
+25+33n side-table              pickle of {row: (key, value, old_value)}
+====== ======================= =======================================
+
+Decode is *lazy and zero-copy*: :class:`ColumnarEventList` wraps
+``memoryview`` casts over the payload and only materializes ``Event``
+objects on demand (counted, so ``FetchStats.decoded_events`` can report
+how much decoding a query actually forced).  Replay never needs the
+objects at all — the bulk kernels in ``graph.static`` and
+``index.tgi.query`` read the columns directly.
+
+The side-table covers the minority of events carrying an attribute key,
+value or old value; attribute keys are interned at pack time so pickle's
+memo shares one copy per distinct key.  Events whose ids or times don't
+fit the packed layout (non-``int`` node ids, values outside int64) make
+:func:`pack_eventlist` return ``None`` and the codec falls back to
+pickle — correctness never depends on the fast layout being applicable.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import sys
+import threading
+from bisect import bisect_right
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.graph.events import Event, EventKind
+from repro.types import NodeId, TimePoint
+
+#: Layout version byte (bumped on any incompatible layout change).
+_COL_VERSION = 1
+
+#: Header after the version byte: ts, te, n (native int64).
+_HEADER = struct.Struct("=qqq")
+_HEADER_END = 1 + _HEADER.size
+
+#: Sentinel in the ``others`` column for node events (no second
+#: endpoint); int64 min, unreachable by real node ids (|id| <= 2**62
+#: would already exceed every ``TimePoint`` bound in :mod:`repro.types`).
+_NO_OTHER = -(2 ** 63)
+
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+#: EventKind lookup by value (values are contiguous 0..7).
+_KINDS: Tuple[EventKind, ...] = tuple(EventKind)
+
+# Materialization counter: every Event object a ColumnarEventList
+# constructs is counted here, so fetch accounting can report how much
+# lazy decoding a query actually forced (FetchStats.decoded_events).
+_decoded_lock = threading.Lock()
+_decoded_events = 0
+
+
+def decoded_events_total() -> int:
+    """Process-wide count of ``Event`` objects materialized from
+    columnar payloads (monotonic; consumers diff it around a query)."""
+    return _decoded_events
+
+
+def _count_decoded(n: int) -> None:
+    global _decoded_events
+    with _decoded_lock:
+        _decoded_events += n
+
+
+def _fits(x: Any) -> bool:
+    return type(x) is int and _INT64_MIN < x <= _INT64_MAX
+
+
+def pack_eventlist(ts: TimePoint, te: TimePoint, events: Sequence[Event]) -> Optional[bytes]:
+    """Pack a sorted event run into the columnar layout.
+
+    Returns ``None`` when any field falls outside the packed layout
+    (non-``int`` ids/times/seqs, values beyond int64, an ``other`` equal
+    to the sentinel) — the caller falls back to pickling.
+    """
+    if not (_fits(ts) and _fits(te)):
+        return None
+    n = len(events)
+    times: List[int] = []
+    seqs: List[int] = []
+    kinds = bytearray(n)
+    nodes: List[int] = []
+    others: List[int] = []
+    side: Dict[int, Tuple[Optional[str], Any, Any]] = {}
+    for i, ev in enumerate(events):
+        other = ev.other
+        if not (
+            _fits(ev.time)
+            and _fits(ev.seq)
+            and _fits(ev.node)
+            and (other is None or _fits(other))
+        ):
+            return None
+        times.append(ev.time)
+        seqs.append(ev.seq)
+        kinds[i] = int(ev.kind)
+        nodes.append(ev.node)
+        others.append(_NO_OTHER if other is None else other)
+        if ev.key is not None or ev.value is not None or ev.old_value is not None:
+            key = sys.intern(ev.key) if ev.key is not None else None
+            side[i] = (key, ev.value, ev.old_value)
+    parts = [
+        bytes((_COL_VERSION,)),
+        _HEADER.pack(ts, te, n),
+        struct.pack(f"={n}q", *times),
+        struct.pack(f"={n}q", *seqs),
+        bytes(kinds),
+        struct.pack(f"={n}q", *nodes),
+        struct.pack(f"={n}q", *others),
+    ]
+    if side:
+        parts.append(pickle.dumps(side, protocol=pickle.HIGHEST_PROTOCOL))
+    return b"".join(parts)
+
+
+class ColumnarEventList:
+    """Lazy, zero-copy view of a columnar eventlist payload.
+
+    Quacks like :class:`~repro.deltas.eventlist.EventList` (``ts``,
+    ``te``, ``events``, ``len``, iteration, ``filter_by_time`` /
+    ``filter_by_id`` / ``apply_to`` / ``change_points``), but holds only
+    ``memoryview`` casts over the payload plus a ``(lo, hi)`` row window.
+    ``filter_by_time`` narrows the window by bisection on the times
+    column — no event is materialized; ``events`` materializes (and
+    caches) the window's ``Event`` tuple on first access, via a trusted
+    constructor that skips ``__post_init__`` validation (the build
+    validated the events before packing).
+    """
+
+    __slots__ = (
+        "ts", "te", "_data", "_n", "_lo", "_hi",
+        "_times", "_seqs", "_kinds", "_nodes", "_others",
+        "_side_off", "_side", "_events",
+    )
+
+    def __init__(
+        self,
+        data: Any,
+        lo: int = 0,
+        hi: Optional[int] = None,
+        ts: Optional[TimePoint] = None,
+        te: Optional[TimePoint] = None,
+    ) -> None:
+        mv = data if isinstance(data, memoryview) else memoryview(data)
+        if len(mv) < _HEADER_END or mv[0] != _COL_VERSION:
+            raise ValueError(
+                f"unsupported columnar eventlist layout "
+                f"(version byte {mv[0] if len(mv) else None!r})"
+            )
+        hts, hte, n = _HEADER.unpack_from(mv, 1)
+        o = _HEADER_END
+        self._data = mv
+        self._n = n
+        self._times = mv[o:o + 8 * n].cast("q"); o += 8 * n
+        self._seqs = mv[o:o + 8 * n].cast("q"); o += 8 * n
+        self._kinds = mv[o:o + n]; o += n
+        self._nodes = mv[o:o + 8 * n].cast("q"); o += 8 * n
+        self._others = mv[o:o + 8 * n].cast("q"); o += 8 * n
+        self._side_off = o
+        self._side: Optional[Dict[int, Tuple]] = None
+        self._events: Optional[Tuple[Event, ...]] = None
+        self._lo = lo
+        self._hi = n if hi is None else hi
+        self.ts = hts if ts is None else ts
+        self.te = hte if te is None else te
+
+    # -- pickling ---------------------------------------------------------
+    # memoryview casts don't pickle; rebuild from the payload bytes and
+    # the window (save_index pickles whole indexes, delta caches included)
+    def __reduce__(self):
+        return (
+            _rebuild_columnar,
+            (bytes(self._data), self._lo, self._hi, self.ts, self.te),
+        )
+
+    # -- side-table -------------------------------------------------------
+    def _side_entries(self) -> Dict[int, Tuple]:
+        side = self._side
+        if side is None:
+            blob = self._data[self._side_off:]
+            side = pickle.loads(blob) if len(blob) else {}
+            self._side = side  # benign race: identical result either way
+        return side
+
+    # -- materialization --------------------------------------------------
+    def _event_at(self, i: int) -> Event:
+        """Trusted fast construction: bit-equivalent to the packed Event
+        without re-running ``__post_init__`` (the write path validated)."""
+        ev = Event.__new__(Event)
+        oset = object.__setattr__
+        oset(ev, "time", self._times[i])
+        oset(ev, "seq", self._seqs[i])
+        oset(ev, "kind", _KINDS[self._kinds[i]])
+        oset(ev, "node", self._nodes[i])
+        o = self._others[i]
+        oset(ev, "other", None if o == _NO_OTHER else o)
+        entry = self._side_entries().get(i)
+        key, value, old = entry if entry is not None else (None, None, None)
+        oset(ev, "key", key)
+        oset(ev, "value", value)
+        oset(ev, "old_value", old)
+        return ev
+
+    @property
+    def events(self) -> Tuple[Event, ...]:
+        evs = self._events
+        if evs is None:
+            at = self._event_at
+            evs = tuple(at(i) for i in range(self._lo, self._hi))
+            self._events = evs
+            _count_decoded(len(evs))
+        return evs
+
+    # -- EventList protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return self._hi - self._lo
+
+    @property
+    def size(self) -> int:
+        return self._hi - self._lo
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        # reflected against the EventList dataclass too: its generated
+        # __eq__ returns NotImplemented for a foreign class, so Python
+        # falls through to this comparison for either operand order
+        if isinstance(other, ColumnarEventList) or hasattr(other, "events"):
+            return (
+                self.ts == getattr(other, "ts", None)
+                and self.te == getattr(other, "te", None)
+                and self.events == tuple(other.events)
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]  # mutable caches inside
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarEventList(ts={self.ts}, te={self.te}, "
+            f"n={len(self)}, lazy={self._events is None})"
+        )
+
+    def filter_by_time(self, ts: TimePoint, te: TimePoint) -> "ColumnarEventList":
+        """Narrow to ``ts < time <= te`` by bisecting the times column —
+        a windowed view sharing this payload; nothing materializes."""
+        lo = bisect_right(self._times, ts, self._lo, self._hi)
+        hi = bisect_right(self._times, te, lo, self._hi)
+        if lo >= hi:
+            return ColumnarEventList(self._data, lo, lo, ts, te)
+        return ColumnarEventList(
+            self._data, lo, hi, max(ts, self.ts), min(te, self.te)
+        )
+
+    def filter_by_id(self, node_ids) -> Any:
+        """Restrict to events touching any of ``node_ids``; materializes
+        only the matching rows (kept rows are rarely contiguous)."""
+        keep = set(node_ids)
+        nodes, others = self._nodes, self._others
+        hits = [
+            i for i in range(self._lo, self._hi)
+            if nodes[i] in keep
+            or (others[i] != _NO_OTHER and others[i] in keep)
+        ]
+        sub = tuple(self._event_at(i) for i in hits)
+        _count_decoded(len(sub))
+        from repro.deltas.eventlist import EventList
+
+        return EventList(self.ts, self.te, sub)
+
+    def apply_to(self, g) -> Any:
+        """Bulk-apply all events in order to ``g`` (mutates, returns it)."""
+        g.apply_columnar(self)
+        return g
+
+    def change_points(self) -> List[TimePoint]:
+        """Distinct event times, straight off the times column."""
+        out: List[TimePoint] = []
+        times = self._times
+        last: Optional[int] = None
+        for i in range(self._lo, self._hi):
+            t = times[i]
+            if t != last:
+                out.append(t)
+                last = t
+        return out
+
+    # -- re-encoding ------------------------------------------------------
+    def packed_bytes(self) -> bytes:
+        """The full columnar payload when this view covers every row,
+        else a repack of just the window (re-putting a filtered row)."""
+        if self._lo == 0 and self._hi == self._n:
+            return bytes(self._data)
+        body = pack_eventlist(self.ts, self.te, self.events)
+        assert body is not None  # decoded from a packed payload
+        return body
+
+
+def _rebuild_columnar(
+    data: bytes, lo: int, hi: int, ts: TimePoint, te: TimePoint
+) -> ColumnarEventList:
+    return ColumnarEventList(data, lo, hi, ts, te)
+
+
+def merged_order(
+    lists: Sequence[ColumnarEventList],
+    until: Optional[TimePoint] = None,
+    after: Optional[TimePoint] = None,
+) -> Tuple[List[Tuple[int, int]], Optional[List[Tuple[int, int]]]]:
+    """Plan a global ``(time, seq)`` apply order over several columnar
+    lists without materializing events.
+
+    Returns ``(windows, order)``: ``windows[li]`` is the ``(lo, hi)``
+    row window of list ``li`` after the optional ``after < time <=
+    until`` bounds (bisected on the times column).  ``order`` is
+    ``None`` when at most one window is non-empty — the caller replays
+    that window directly (rows within one list are already sorted and
+    seq-unique).  Otherwise it lists ``(li, i)`` pairs sorted by
+    ``(time, seq)`` with replicated copies (same seq in several lists —
+    edge events are stored with both endpoints) dropped, matching
+    ``dedup_sorted`` exactly.
+    """
+    windows: List[Tuple[int, int]] = []
+    nonempty: List[int] = []
+    for li, cel in enumerate(lists):
+        lo, hi = cel._lo, cel._hi
+        if after is not None:
+            lo = bisect_right(cel._times, after, lo, hi)
+        if until is not None:
+            hi = bisect_right(cel._times, until, lo, hi)
+        windows.append((lo, hi))
+        if hi > lo:
+            nonempty.append(li)
+    if len(nonempty) <= 1:
+        return windows, None
+    # a partition's chain arrives as consecutive time segments: when
+    # every window begins strictly after the previous one ends (by
+    # (time, seq)), the globally sorted deduplicated order is just the
+    # windows in list order — no sort, no seen-set.  Strictness matters:
+    # a replicated copy shares its (time, seq) exactly, so any duplicate
+    # breaks the ordering and forces the merge below.
+    sequential = True
+    prev_t = prev_s = 0
+    first = True
+    for li in nonempty:
+        cel = lists[li]
+        lo, hi = windows[li]
+        t0, s0 = cel._times[lo], cel._seqs[lo]
+        if not first and (prev_t, prev_s) >= (t0, s0):
+            sequential = False
+            break
+        first = False
+        prev_t, prev_s = cel._times[hi - 1], cel._seqs[hi - 1]
+    if sequential:
+        return windows, None
+    entries: List[Tuple[int, int, int, int]] = []
+    for li in nonempty:
+        cel = lists[li]
+        times, seqs = cel._times, cel._seqs
+        lo, hi = windows[li]
+        entries.extend((times[i], seqs[i], li, i) for i in range(lo, hi))
+    entries.sort()
+    seen: set = set()
+    order: List[Tuple[int, int]] = []
+    for _t, seq, li, i in entries:
+        if seq not in seen:
+            seen.add(seq)
+            order.append((li, i))
+    return windows, order

@@ -8,13 +8,17 @@ capture fine-grained changes between materialized snapshots.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DeltaError
 from repro.graph.events import Event, check_sorted
 from repro.graph.static import Graph
 from repro.types import NodeId, TimePoint
+
+_event_time = attrgetter("time")
 
 
 @dataclass(frozen=True)
@@ -67,8 +71,12 @@ class EventList:
 
     def filter_by_time(self, ts: TimePoint, te: TimePoint) -> "EventList":
         """Restrict to events with ``ts < time <= te`` (paper's
-        ``FilterByTime``)."""
-        sub = tuple(ev for ev in self.events if ts < ev.time <= te)
+        ``FilterByTime``).  Events are sorted by time, so both bounds
+        bisect instead of scanning the whole run."""
+        evs = self.events
+        lo = bisect_right(evs, ts, key=_event_time)
+        hi = bisect_right(evs, te, lo, key=_event_time)
+        sub = evs[lo:hi]
         return EventList(max(ts, self.ts), min(te, self.te), sub) if sub else \
             EventList(ts, te, ())
 

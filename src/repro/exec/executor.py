@@ -88,7 +88,8 @@ class _PlanCursor:
         self.result = PlanResult()
         self.pos = 0  # next entry in plan.stages
         self.ready_at = 0.0  # timeline instant the last round completed
-        self.apply_done = 0.0  # timeline instant the apply lane drains
+        self.apply_done = 0.0  # timeline instant the apply lanes drain
+        self.apply_seq = 0  # costed apply stages issued (stripes lanes)
         self.standalone_ms = 0.0  # sequential cost (rounds + apply) so far
 
     @property
@@ -107,10 +108,20 @@ class PlanExecutor:
     """
 
     def __init__(
-        self, cluster: Cluster, cache: Optional[DeltaCache] = None
+        self,
+        cluster: Cluster,
+        cache: Optional[DeltaCache] = None,
+        apply_workers: int = 1,
     ) -> None:
+        if apply_workers < 1:
+            raise ValueError("apply_workers must be positive")
         self.cluster = cluster
         self.cache = cache
+        #: Simulated client-side apply lanes per plan: with ``k > 1``,
+        #: consecutive costed apply stages of one plan stripe across ``k``
+        #: lanes of the shared timeline instead of serializing on one
+        #: (mirroring the real ThreadPoolExecutor replay in the TGI).
+        self.apply_workers = apply_workers
 
     def execute(self, plan: FetchPlan, clients: int = 1) -> PlanResult:
         result = PlanResult()
@@ -216,15 +227,20 @@ class PlanExecutor:
             cursor.ready_at = timing.completed_ms
             cursor.standalone_ms += timing.standalone_ms
         if apply_ms > 0.0:
-            # the stage's replay runs on this plan's apply lane, released
-            # when its payload arrived: it overlaps the plan's next fetch
-            # round (key resolution needs only the decoded rows) and every
-            # other plan's in-flight work; the lane serializes one plan's
-            # apply stages against each other
-            work = timeline.submit_local(
-                apply_ms, at=cursor.ready_at, lane=f"plan-{cursor.index}"
-            )
-            cursor.apply_done = work.completed_ms
+            # the stage's replay runs on one of this plan's apply lanes,
+            # released when its payload arrived: it overlaps the plan's
+            # next fetch round (key resolution needs only the decoded
+            # rows) and every other plan's in-flight work.  With one
+            # worker the single lane serializes a plan's apply stages
+            # against each other; with k workers consecutive stages
+            # stripe across k lanes and only every k-th stage queues
+            workers = self.apply_workers
+            lane = f"plan-{cursor.index}"
+            if workers > 1:
+                lane = f"{lane}-w{cursor.apply_seq % workers}"
+            cursor.apply_seq += 1
+            work = timeline.submit_local(apply_ms, at=cursor.ready_at, lane=lane)
+            cursor.apply_done = max(cursor.apply_done, work.completed_ms)
             cursor.standalone_ms += apply_ms
 
     def _run_stage(

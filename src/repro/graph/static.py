@@ -16,6 +16,17 @@ from repro.errors import EventError, GraphError
 from repro.graph.events import Event, EventKind
 from repro.types import AttrMap, EdgeId, NodeId, TimePoint, canonical_edge
 
+# EventKind values as plain ints for the columnar bulk-apply kernel (the
+# packed kinds column stores the raw uint8).
+_K_NODE_ADD = int(EventKind.NODE_ADD)
+_K_NODE_DELETE = int(EventKind.NODE_DELETE)
+_K_EDGE_ADD = int(EventKind.EDGE_ADD)
+_K_EDGE_DELETE = int(EventKind.EDGE_DELETE)
+_K_NODE_ATTR_SET = int(EventKind.NODE_ATTR_SET)
+_K_NODE_ATTR_DEL = int(EventKind.NODE_ATTR_DEL)
+_K_EDGE_ATTR_SET = int(EventKind.EDGE_ATTR_SET)
+_K_EDGE_ATTR_DEL = int(EventKind.EDGE_ATTR_DEL)
+
 
 class Graph:
     """A static property graph (one snapshot of the evolving graph).
@@ -241,6 +252,104 @@ class Graph:
         for ev in events:
             self.apply_event(ev, strict=strict)
 
+    def apply_columnar(self, eventlists: Any, until: Optional[TimePoint] = None) -> None:
+        """Bulk-apply columnar eventlists in global ``(time, seq)`` order.
+
+        ``eventlists`` is one ``ColumnarEventList`` or a sequence of them;
+        replicated copies across lists (edge events are stored with both
+        endpoints' partitions) are deduplicated by seq.  Replays straight
+        off the packed columns with the same lenient semantics as
+        ``apply_event(strict=False)``, without materializing ``Event``
+        objects.
+        """
+        # imported lazily: repro.deltas.__init__ imports this module
+        from repro.deltas.columnar import (
+            _NO_OTHER,
+            ColumnarEventList,
+            merged_order,
+        )
+
+        if isinstance(eventlists, ColumnarEventList):
+            eventlists = (eventlists,)
+        cels = [el for el in eventlists if len(el)]
+        if not cels:
+            return
+        windows, order = merged_order(cels, until=until)
+        nodes, adj, edge_attrs = self._nodes, self._adj, self._edge_attrs
+        directed = self.directed
+
+        def row(kind: int, node: Any, other: Any, entry: Optional[tuple]) -> None:
+            key, value, _old = entry if entry is not None else (None, None, None)
+            if kind == _K_EDGE_ADD:
+                # auto-create endpoints (lenient mode, see apply_event)
+                if node not in nodes:
+                    nodes[node] = {}
+                    adj.setdefault(node, set())
+                if other not in nodes:
+                    nodes[other] = {}
+                    adj.setdefault(other, set())
+                eid = canonical_edge(node, other, directed)
+                if eid not in edge_attrs:
+                    edge_attrs[eid] = dict(value) if value else {}
+                    adj[node].add(other)
+                    if not directed:
+                        adj[other].add(node)
+            elif kind == _K_EDGE_DELETE:
+                eid = canonical_edge(node, other, directed)
+                if eid in edge_attrs:
+                    del edge_attrs[eid]
+                    adj[node].discard(other)
+                    if not directed:
+                        adj[other].discard(node)
+            elif kind == _K_NODE_ADD:
+                if node not in nodes:
+                    nodes[node] = dict(value) if value else {}
+                    adj.setdefault(node, set())
+            elif kind == _K_NODE_DELETE:
+                if node in nodes:
+                    self.remove_node(node)
+            elif kind == _K_NODE_ATTR_SET:
+                attrs = nodes.get(node)
+                if attrs is None:
+                    attrs = {}
+                    nodes[node] = attrs
+                    adj.setdefault(node, set())
+                attrs[key] = value
+            elif kind == _K_NODE_ATTR_DEL:
+                attrs = nodes.get(node)
+                if attrs is not None and key in attrs:
+                    del attrs[key]
+            elif kind == _K_EDGE_ATTR_SET:
+                attrs = edge_attrs.get(canonical_edge(node, other, directed))
+                if attrs is not None:
+                    attrs[key] = value
+            elif kind == _K_EDGE_ATTR_DEL:
+                attrs = edge_attrs.get(canonical_edge(node, other, directed))
+                if attrs is not None and key in attrs:
+                    del attrs[key]
+
+        if order is None:
+            for li, cel in enumerate(cels):
+                lo, hi = windows[li]
+                if hi <= lo:
+                    continue
+                kinds, ncol, ocol = cel._kinds, cel._nodes, cel._others
+                get_side = cel._side_entries().get
+                for i in range(lo, hi):
+                    o = ocol[i]
+                    row(kinds[i], ncol[i], None if o == _NO_OTHER else o,
+                        get_side(i))
+        else:
+            cols = [
+                (c._kinds, c._nodes, c._others, c._side_entries())
+                for c in cels
+            ]
+            for li, i in order:
+                kinds, ncol, ocol, side = cols[li]
+                o = ocol[i]
+                row(kinds[i], ncol[i], None if o == _NO_OTHER else o,
+                    side.get(i))
+
     @classmethod
     def replay(
         cls,
@@ -294,13 +403,6 @@ class Graph:
     def khop_subgraph(self, root: NodeId, k: int) -> "Graph":
         """Induced subgraph on the k-hop neighborhood of ``root``."""
         return self.subgraph(self.khop_nodes(root, k))
-
-    def copy(self) -> "Graph":
-        g = Graph(directed=self.directed)
-        g._nodes = {n: dict(a) for n, a in self._nodes.items()}
-        g._adj = {n: set(s) for n, s in self._adj.items()}
-        g._edge_attrs = {e: dict(a) for e, a in self._edge_attrs.items()}
-        return g
 
     def to_networkx(self):  # pragma: no cover - thin convenience shim
         """Export to a ``networkx`` graph for interoperability."""

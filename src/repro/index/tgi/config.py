@@ -62,6 +62,13 @@ class TGIConfig:
         stats_buckets: event-rate histogram resolution of the build-time
             :class:`~repro.stats.model.GraphStatistics` artifact (buckets
             per timespan).
+        apply_workers: per-partition apply lanes.  1 (the default) keeps
+            replay strictly serial; ``k > 1`` replays independent
+            partitions on a ``ThreadPoolExecutor`` of ``k`` threads and
+            stripes the executor's costed apply stages across ``k``
+            simulated lanes.  Results are bit-identical to serial —
+            partition states are computed concurrently but admitted in
+            sorted partition order.
         pipeline: overlap independent fetch plans on a shared execution
             timeline (modeling Cassandra's async client drivers) and let
             the TAF handler drive whole analytics chunks through the
@@ -88,6 +95,7 @@ class TGIConfig:
     checkpoint_entries: int = 0
     checkpoint_admission: str = "always"
     stats_buckets: int = 16
+    apply_workers: int = 1
     pipeline: bool = True
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
@@ -118,3 +126,5 @@ class TGIConfig:
             )
         if self.stats_buckets < 1:
             raise IndexError_("stats_buckets must be positive")
+        if self.apply_workers < 1:
+            raise IndexError_("apply_workers must be positive")

@@ -45,6 +45,7 @@ from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.deltas.base import Delta, StaticNode
+from repro.deltas.columnar import ColumnarEventList, decoded_events_total
 from repro.deltas.eventlist import EventList
 from repro.errors import IndexError_, TimeRangeError
 from repro.exec import (
@@ -138,13 +139,38 @@ class TGI(HistoricalGraphIndex):
             if self.config.checkpoint_entries > 0
             else None
         )
-        self.executor = PlanExecutor(self.cluster, self.delta_cache)
+        self.executor = PlanExecutor(
+            self.cluster,
+            self.delta_cache,
+            apply_workers=self.config.apply_workers,
+        )
         self.stats = GraphStatistics()
         self._vc = VersionChainStore(self.cluster, self.config.placement_groups)
         self._spans: List[TimespanInfo] = []
         self._running = Graph()  # state at the end of indexed history
         self._t_min: Optional[TimePoint] = None
         self._t_max: Optional[TimePoint] = None
+        self._apply_pool = None  # lazy ThreadPoolExecutor (apply_workers > 1)
+
+    def _pool(self):
+        """The shared per-partition apply pool (created on first use)."""
+        pool = self._apply_pool
+        if pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            pool = ThreadPoolExecutor(
+                max_workers=self.config.apply_workers,
+                thread_name_prefix="tgi-apply",
+            )
+            self._apply_pool = pool
+        return pool
+
+    def __getstate__(self):
+        # thread pools don't pickle (save_index serializes whole indexes);
+        # drop the pool — it is recreated lazily on the next parallel replay
+        state = dict(self.__dict__)
+        state["_apply_pool"] = None
+        return state
 
     # ------------------------------------------------------------------
     # construction + batch update
@@ -323,6 +349,7 @@ class TGI(HistoricalGraphIndex):
                 stats = FetchStats(checkpoint_hits=1)
                 self.last_fetch_stats = stats
                 return cached
+        decoded0 = decoded_events_total()
         plan = FetchPlan(f"snapshot(t={t})")
         stage, path_groups, ekeys = self._snapshot_stage(span, t, "snapshot")
         plan.stages.append(stage)
@@ -334,13 +361,16 @@ class TGI(HistoricalGraphIndex):
             for key in group:
                 acc = acc + values[key]
         g = acc.to_graph()
-        events = dedup_sorted(
-            ev
-            for key in ekeys
-            for ev in values[key]
-            if ev.time <= t
-        )
-        g.apply_events(events)
+        elists = [values[key] for key in ekeys]
+        if all(isinstance(el, ColumnarEventList) for el in elists):
+            # bulk replay off the packed columns (dedups replicated
+            # copies by seq, bounds by time via bisection)
+            g.apply_columnar(elists, until=t)
+        else:
+            g.apply_events(dedup_sorted(
+                ev for el in elists for ev in el if ev.time <= t
+            ))
+        result.stats.decoded_events += decoded_events_total() - decoded0
         if self.checkpoints is not None:
             result.stats.checkpoint_misses += 1
             # the cached graph is private (structural copy), as is every
@@ -366,7 +396,7 @@ class TGI(HistoricalGraphIndex):
                 scope |= set(span.boundary.get(pid, frozenset()))
         return scope
 
-    def _replay_pid(
+    def _replay_pid_state(
         self,
         span: TimespanInfo,
         pid: int,
@@ -375,10 +405,11 @@ class TGI(HistoricalGraphIndex):
         values: Dict[DeltaKey, object],
         plan: Optional[Tuple[List[List[DeltaKey]], List[DeltaKey]]] = None,
     ) -> PartialState:
-        """Replay one partition's state at ``t`` from fetched rows and
-        admit it as a materialized-state checkpoint.  ``plan`` takes the
-        partition's already-computed ``(path_groups, ekeys)`` when the
-        caller has them, avoiding a second tree-path walk."""
+        """Replay one partition's state at ``t`` from fetched rows (pure
+        compute — no checkpoint admission, so it is safe on a worker
+        thread).  ``plan`` takes the partition's already-computed
+        ``(path_groups, ekeys)`` when the caller has them, avoiding a
+        second tree-path walk."""
         path_groups, ekeys = plan if plan is not None else (
             self._snapshot_plan(span, t, pids={pid}, include_aux=include_aux)
         )
@@ -388,11 +419,19 @@ class TGI(HistoricalGraphIndex):
         for group in path_groups:
             for key in group:
                 state.load_delta(values[key])
-        state.apply_events(
-            dedup_sorted(
-                ev for key in ekeys for ev in values[key] if ev.time <= t
-            )
-        )
+        state.apply_eventlists([values[key] for key in ekeys], until=t)
+        return state
+
+    def _admit_state(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+        state: PartialState,
+    ) -> None:
+        """Checkpoint one replayed partition state (no-op when
+        checkpoints are off)."""
         if self.checkpoints is not None:
             # store a private copy: the caller's merged state shares the
             # replayed dicts and may keep evolving them
@@ -403,7 +442,65 @@ class TGI(HistoricalGraphIndex):
                 series=_state_series(span.tsid, pid, include_aux),
                 t=t,
             )
+
+    def _replay_pid(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+        values: Dict[DeltaKey, object],
+        plan: Optional[Tuple[List[List[DeltaKey]], List[DeltaKey]]] = None,
+    ) -> PartialState:
+        """Replay one partition's state at ``t`` from fetched rows and
+        admit it as a materialized-state checkpoint."""
+        state = self._replay_pid_state(span, pid, t, include_aux, values, plan)
+        self._admit_state(span, pid, t, include_aux, state)
         return state
+
+    def _replay_pids(
+        self,
+        span: TimespanInfo,
+        cold: Set[int],
+        near: Dict[int, Tuple[StatePayload, TimePoint, List[DeltaKey]]],
+        t: TimePoint,
+        include_aux: bool,
+        values: Dict[DeltaKey, object],
+        plans: Optional[
+            Dict[int, Tuple[List[List[DeltaKey]], List[DeltaKey]]]
+        ] = None,
+    ) -> List[Tuple[int, PartialState]]:
+        """Replay all cold and near-seeded partitions of one fetch round.
+
+        With ``apply_workers > 1`` the per-partition replays run on the
+        shared thread pool (they are independent: each builds a private
+        ``PartialState`` from read-only fetched rows); states are then
+        admitted and returned in the serial order — cold partitions
+        sorted by pid, then near-seeded ones — so merge results and
+        checkpoint contents are bit-identical to ``apply_workers=1``."""
+        pids = sorted(cold) + sorted(near)
+        if not pids:
+            return []
+
+        def compute(pid: int) -> PartialState:
+            entry = near.get(pid)
+            if entry is not None:
+                payload0, t0, gap_keys = entry
+                return self._seed_state(
+                    span, pid, t, include_aux, payload0, t0, gap_keys, values
+                )
+            plan = plans.get(pid) if plans is not None else None
+            return self._replay_pid_state(
+                span, pid, t, include_aux, values, plan
+            )
+
+        if self.config.apply_workers > 1 and len(pids) > 1:
+            states = list(self._pool().map(compute, pids))
+        else:
+            states = [compute(pid) for pid in pids]
+        for pid, state in zip(pids, states):
+            self._admit_state(span, pid, t, include_aux, state)
+        return list(zip(pids, states))
 
     # ------------------------------------------------------------------
     # nearest-in-time checkpoint seeding
@@ -527,7 +624,7 @@ class TGI(HistoricalGraphIndex):
             stage.groups + (KeyGroup("near-gap", tuple(gap_union)),),
         )
 
-    def _replay_pid_from_seed(
+    def _seed_state(
         self,
         span: TimespanInfo,
         pid: int,
@@ -539,7 +636,8 @@ class TGI(HistoricalGraphIndex):
         values: Dict[DeltaKey, object],
     ) -> PartialState:
         """Advance a checkpointed partition state from ``t0`` to ``t`` by
-        replaying only the gap eventlists, then admit the new state.
+        replaying only the gap eventlists (pure compute — no checkpoint
+        admission, so it is safe on a worker thread).
         Exact for the same reason cold per-partition replay is: the build
         writes every event into the eventlist of each partition it
         touches, so the gap rows carry everything that moved this
@@ -548,22 +646,27 @@ class TGI(HistoricalGraphIndex):
         state = PartialState(scope=self._pid_scope(span, {pid}, include_aux))
         state.nodes = nodes
         state.edge_attrs = edge_attrs
-        state.apply_events(
-            dedup_sorted(
-                ev
-                for key in gap_keys
-                for ev in values[key]
-                if t0 < ev.time <= t
-            )
+        state.apply_eventlists(
+            [values[key] for key in gap_keys], until=t, after=t0
         )
-        if self.checkpoints is not None:
-            self.checkpoints.admit(
-                _state_key(span.tsid, pid, t, include_aux),
-                _clone_state((state.nodes, state.edge_attrs)),
-                _clone_state,
-                series=_state_series(span.tsid, pid, include_aux),
-                t=t,
-            )
+        return state
+
+    def _replay_pid_from_seed(
+        self,
+        span: TimespanInfo,
+        pid: int,
+        t: TimePoint,
+        include_aux: bool,
+        payload: StatePayload,
+        t0: TimePoint,
+        gap_keys: Sequence[DeltaKey],
+        values: Dict[DeltaKey, object],
+    ) -> PartialState:
+        """:meth:`_seed_state` plus checkpoint admission of the result."""
+        state = self._seed_state(
+            span, pid, t, include_aux, payload, t0, gap_keys, values
+        )
+        self._admit_state(span, pid, t, include_aux, state)
         return state
 
     @staticmethod
@@ -607,10 +710,7 @@ class TGI(HistoricalGraphIndex):
             for group in path_groups:
                 for key in group:
                     state.load_delta(values[key])
-            events = dedup_sorted(
-                ev for key in ekeys for ev in values[key] if ev.time <= t
-            )
-            state.apply_events(events)
+            state.apply_eventlists([values[key] for key in ekeys], until=t)
             return state, scope, stats
 
         state = PartialState(scope=scope)
@@ -637,17 +737,9 @@ class TGI(HistoricalGraphIndex):
         )
         plan.stages.append(self._with_gap_group(stage, near))
         result = self.executor.execute(plan, clients=clients)
-        for pid in sorted(cold):
-            replayed = self._replay_pid(
-                span, pid, t, include_aux, result.values
-            )
-            self._merge_state(state, replayed.nodes, replayed.edge_attrs)
-        for pid in sorted(near):
-            payload0, t0, gap_keys = near[pid]
-            replayed = self._replay_pid_from_seed(
-                span, pid, t, include_aux, payload0, t0, gap_keys,
-                result.values,
-            )
+        for _pid, replayed in self._replay_pids(
+            span, cold, near, t, include_aux, result.values
+        ):
             self._merge_state(state, replayed.nodes, replayed.edge_attrs)
         stats = result.stats
         stats.checkpoint_hits += hits
@@ -683,12 +775,14 @@ class TGI(HistoricalGraphIndex):
         if not nodes:
             self.last_fetch_stats = FetchStats()
             return []
+        decoded0 = decoded_events_total()
         plan, finalize, ckpt = self._node_histories_plan(nodes, ts, te)
         result = self.executor.execute(plan, clients=clients)
         out = finalize(result.values)
         result.stats.checkpoint_hits += ckpt["hits"]
         result.stats.checkpoint_misses += ckpt["misses"]
         result.stats.checkpoint_near_hits += ckpt["near_hits"]
+        result.stats.decoded_events += decoded_events_total() - decoded0
         self.last_fetch_stats = result.stats
         return out
 
@@ -823,39 +917,35 @@ class TGI(HistoricalGraphIndex):
             for node, pid in node_pid.items():
                 if pid is not None:
                     by_pid.setdefault(pid, []).append(node)
+            replayed: Dict[int, PartialState] = {}
+            if self.checkpoints is not None:
+                # replay whole partitions (not just the queried members,
+                # so the admitted checkpoints serve any later query over
+                # these partitions) — cold and near-seeded ones together,
+                # on the apply pool when configured
+                replayed = dict(self._replay_pids(
+                    span,
+                    {p for p in by_pid
+                     if p not in seeded and p not in seeded_near},
+                    {p: seeded_near[p] for p in by_pid if p in seeded_near},
+                    ts, False, values, plans=pid_plans,
+                ))
             for pid, members in by_pid.items():
                 if pid in seeded:
                     nodes_map, _edges = seeded[pid]
                     for node in members:
                         initial[node] = nodes_map.get(node)
                     continue
-                if pid in seeded_near:
-                    payload0, t0, gap_keys = seeded_near[pid]
-                    state = self._replay_pid_from_seed(
-                        span, pid, ts, False, payload0, t0, gap_keys,
-                        values,
-                    )
-                    for node in members:
-                        initial[node] = state.node_state(node)
-                    continue
-                if self.checkpoints is not None:
-                    # replay the whole partition (not just the queried
-                    # members) so the admitted checkpoint serves any
-                    # later query over this partition
-                    state = self._replay_pid(
-                        span, pid, ts, False, values, plan=pid_plans[pid]
-                    )
-                else:
+                state = replayed.get(pid)
+                if state is None:
+                    # no checkpointing: scoped replay of just the members
                     path_groups, ekeys = pid_plans[pid]
                     state = PartialState(scope=set(members))
                     for group in path_groups:
                         for key in group:
                             state.load_delta(values[key])
-                    state.apply_events(
-                        dedup_sorted(
-                            ev for key in ekeys for ev in values[key]
-                            if ev.time <= ts
-                        )
+                    state.apply_eventlists(
+                        [values[key] for key in ekeys], until=ts
                     )
                 for node in members:
                     initial[node] = state.node_state(node)
@@ -866,11 +956,13 @@ class TGI(HistoricalGraphIndex):
                 changes: List[Event] = []
                 if node in chains:
                     keys = self._vc.pointers_in_range(chains[node], ts, te)
+                    # filter_by_time bisects; filter_by_id materializes
+                    # only the rows touching this node on columnar rows
                     changes = dedup_sorted(
                         ev
                         for key in keys
                         for ev in values[key]
-                        if ts < ev.time <= te and ev.touches(node)
+                        .filter_by_time(ts, te).filter_by_id((node,))
                     )
                 histories[node] = NodeHistory(
                     node, ts, te, initial.get(node), tuple(changes)
@@ -890,6 +982,7 @@ class TGI(HistoricalGraphIndex):
         the already-covered scope."""
         span = self._span_at(t)
         include_aux = self.config.replicate_boundary
+        decoded0 = decoded_events_total()
         pid0 = span.pid_of(node)
         if pid0 is None:
             # nothing was fetched for this query; reset the stats so a
@@ -920,6 +1013,7 @@ class TGI(HistoricalGraphIndex):
 
         load({pid0})
         if merged.node_state(node) is None:
+            total.decoded_events += decoded_events_total() - decoded0
             self.last_fetch_stats = total
             raise IndexError_(f"node {node} not alive at t={t}")
 
@@ -939,6 +1033,7 @@ class TGI(HistoricalGraphIndex):
             load({p for p in needed if p is not None})
             members |= {n for n in nxt if merged.node_state(n) is not None}
             frontier = {n for n in nxt if merged.node_state(n) is not None}
+        total.decoded_events += decoded_events_total() - decoded0
         self.last_fetch_stats = total
         return merged.to_graph(members)
 
@@ -963,12 +1058,14 @@ class TGI(HistoricalGraphIndex):
         if not centers:
             self.last_fetch_stats = FetchStats()
             return []
+        decoded0 = decoded_events_total()
         plan, finalize, ckpt = self._khops_plan(centers, t, k)
         result = self.executor.execute(plan, clients=clients)
         out = finalize(result.values)
         result.stats.checkpoint_hits += ckpt["hits"]
         result.stats.checkpoint_misses += ckpt["misses"]
         result.stats.checkpoint_near_hits += ckpt["near_hits"]
+        result.stats.decoded_events += decoded_events_total() - decoded0
         self.last_fetch_stats = result.stats
         return out
 
@@ -1073,23 +1170,14 @@ class TGI(HistoricalGraphIndex):
             while pending:
                 path_groups, ekeys, pids, scope, near = pending.pop(0)
                 if path_groups is None:
-                    # checkpoint mode: per-partition replay, so each cold
-                    # partition's state is admitted as a checkpoint (and
-                    # near-seeded partitions advance from their earlier
-                    # checkpoint over just the gap eventlists)
-                    for pid in sorted(pids):
-                        state = self._replay_pid(
-                            span, pid, t, include_aux, values
-                        )
-                        self._merge_state(
-                            merged, state.nodes, state.edge_attrs
-                        )
-                    for pid in sorted(near):
-                        payload0, t0, gap_keys = near[pid]
-                        state = self._replay_pid_from_seed(
-                            span, pid, t, include_aux, payload0, t0,
-                            gap_keys, values,
-                        )
+                    # checkpoint mode: per-partition replay (on the apply
+                    # pool when configured), so each cold partition's
+                    # state is admitted as a checkpoint and near-seeded
+                    # partitions advance from their earlier checkpoint
+                    # over just the gap eventlists
+                    for _pid, state in self._replay_pids(
+                        span, pids, near, t, include_aux, values
+                    ):
                         self._merge_state(
                             merged, state.nodes, state.edge_attrs
                         )
@@ -1099,11 +1187,8 @@ class TGI(HistoricalGraphIndex):
                 for group in path_groups:
                     for key in group:
                         state.load_delta(values[key])
-                state.apply_events(
-                    dedup_sorted(
-                        ev for key in ekeys for ev in values[key]
-                        if ev.time <= t
-                    )
+                state.apply_eventlists(
+                    [values[key] for key in ekeys], until=t
                 )
                 covered.update(scope)
                 self._merge_state(merged, state.nodes, state.edge_attrs)

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import KeyNotFound, StorageError
-from repro.kvstore.codec import EncodedValue, decode, encode
+from repro.kvstore.codec import CODECS, EncodedValue, decode, encode
 from repro.kvstore.cost import (
     CostModel,
     ExecutionTimeline,
@@ -41,11 +41,19 @@ def _stable_hash(value: Any) -> int:
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Cluster shape: ``m`` machines, replication factor ``r``."""
+    """Cluster shape: ``m`` machines, replication factor ``r``.
+
+    ``codec`` picks the row serialization: ``"columnar"`` (the default)
+    stores eventlists as packed parallel arrays with lazy zero-copy
+    decode (:mod:`repro.deltas.columnar`); ``"pickle"`` reproduces the
+    paper prototype's pickle-everything behavior.  Non-eventlist rows
+    (micro-deltas, version chains, pointers) always pickle.
+    """
 
     num_machines: int = 1
     replication: int = 1
     compress: bool = False
+    codec: str = "columnar"
     cost_model: CostModel = CostModel()
 
     def __post_init__(self) -> None:
@@ -55,6 +63,10 @@ class ClusterConfig:
             raise StorageError(
                 f"replication {self.replication} must be in "
                 f"[1, {self.num_machines}]"
+            )
+        if self.codec not in CODECS:
+            raise StorageError(
+                f"unknown codec {self.codec!r} (expected one of {CODECS})"
             )
 
 
@@ -122,7 +134,9 @@ class Cluster:
         stale until rewritten.
         """
         self._check_placement_len(placement_len)
-        encoded = encode(value, compress=self.config.compress)
+        encoded = encode(
+            value, compress=self.config.compress, codec=self.config.codec
+        )
         for machine_id in self.replicas_for(key[:placement_len]):
             if machine_id not in self._down:
                 self.machines[machine_id].put(key, encoded)

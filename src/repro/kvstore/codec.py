@@ -1,10 +1,18 @@
 """Serialization of deltas and eventlists to bytes.
 
 The paper's prototype serialized deltas with Python's Pickle before writing
-them to Cassandra; we do the same (the library controls both ends, so
-pickle's trust model is acceptable here) and optionally compress with zlib
-— Fig. 13a of the paper evaluates compressed vs. uncompressed delta
-storage.
+them to Cassandra; we do the same by default (the library controls both
+ends, so pickle's trust model is acceptable here) and optionally compress
+with zlib — Fig. 13a of the paper evaluates compressed vs. uncompressed
+delta storage.
+
+The ``columnar`` codec additionally stores eventlists in the packed
+parallel-array layout of :mod:`repro.deltas.columnar` (tags ``C`` /
+``c``): decode returns a lazy zero-copy :class:`ColumnarEventList` view
+instead of unpickling thousands of ``Event`` objects.  Only eventlists
+whose fields fit the packed layout use it; everything else (micro-deltas,
+version chains, pointers, exotic eventlists) falls back to pickle, so a
+store freely holds a mix of tags.
 """
 
 from __future__ import annotations
@@ -12,12 +20,21 @@ from __future__ import annotations
 import pickle
 import zlib
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any
 
-#: Magic prefixes distinguish compressed from raw payloads so a store can
-#: hold a mix (e.g. after changing the config between builds).
+from repro.deltas.columnar import ColumnarEventList, pack_eventlist
+from repro.deltas.eventlist import EventList
+
+#: Magic prefixes distinguish the stored forms so a store can hold a mix
+#: (e.g. after changing the config between builds): raw / zlib pickle,
+#: raw / zlib columnar.
 _RAW = b"R"
 _ZIP = b"Z"
+_COL = b"C"
+_COLZ = b"c"
+
+#: Codec names accepted by :func:`encode` / ``ClusterConfig.codec``.
+CODECS = ("pickle", "columnar")
 
 
 @dataclass(frozen=True)
@@ -30,8 +47,28 @@ class EncodedValue:
     compressed: bool
 
 
-def encode(obj: Any, compress: bool = False, level: int = 6) -> EncodedValue:
-    """Serialize ``obj``; optionally zlib-compress the pickle stream."""
+def encode(
+    obj: Any, compress: bool = False, level: int = 6, codec: str = "pickle"
+) -> EncodedValue:
+    """Serialize ``obj``; optionally zlib-compress the stream.
+
+    With ``codec="columnar"``, eventlists that fit the packed layout are
+    stored as parallel arrays; all other values pickle as before.
+    """
+    if codec not in CODECS:
+        raise ValueError(f"unknown codec {codec!r} (expected one of {CODECS})")
+    if codec == "columnar":
+        body = None
+        if isinstance(obj, ColumnarEventList):
+            body = obj.packed_bytes()  # re-store a decoded row verbatim
+        elif isinstance(obj, EventList):
+            body = pack_eventlist(obj.ts, obj.te, obj.events)
+        if body is not None:
+            if compress:
+                packed = _COLZ + zlib.compress(body, level)
+                return EncodedValue(packed, len(body), len(packed), True)
+            packed = _COL + body
+            return EncodedValue(packed, len(body), len(packed), False)
     raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
     if compress:
         packed = _ZIP + zlib.compress(raw, level)
@@ -41,8 +78,23 @@ def encode(obj: Any, compress: bool = False, level: int = 6) -> EncodedValue:
 
 
 def decode(payload: bytes) -> Any:
-    """Inverse of :func:`encode`."""
-    tag, body = payload[:1], payload[1:]
+    """Inverse of :func:`encode`.
+
+    Columnar payloads decode to a lazy :class:`ColumnarEventList` wrapping
+    the payload's buffer — zero-copy for the uncompressed tag.
+    """
+    if not payload:
+        raise ValueError(
+            "empty payload: a stored value always starts with a codec "
+            "tag byte (R/Z pickle, C/c columnar)"
+        )
+    tag = payload[:1]
+    if tag == _COL:
+        # zero-copy: the view windows the payload bytes directly
+        return ColumnarEventList(memoryview(payload)[1:])
+    if tag == _COLZ:
+        return ColumnarEventList(zlib.decompress(payload[1:]))
+    body = payload[1:]
     if tag == _ZIP:
         body = zlib.decompress(body)
     elif tag != _RAW:

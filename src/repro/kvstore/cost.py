@@ -105,10 +105,15 @@ class CostModel:
                 calibration.replay_per_item_ms if calibration is not None
                 else DEFAULT_REPLAY_PER_ITEM_MS
             )
+        items_per_kb = self.replay_items_per_kb
+        measured_density = getattr(calibration, "items_per_kb", 0.0)
+        if measured_density and measured_density > 0.0:
+            items_per_kb = measured_density
         return replace(
             self,
             apply_per_kb_ms=apply_per_kb_ms,
             replay_per_item_ms=replay_per_item_ms,
+            replay_items_per_kb=items_per_kb,
         )
 
     def apply_time(
@@ -188,6 +193,11 @@ class FetchStats:
             from a checkpoint at an *earlier* time in the same timespan
             and only the eventlist gap between the two times was fetched
             and applied (counted separately from exact hits).
+        decoded_events: ``Event`` objects materialized from columnar
+            payloads while serving this fetch (0 on the pickle codec and
+            on columnar fast paths — the bulk kernels replay packed
+            columns without building events, so this counter is a direct
+            measure of how often a query fell off the zero-decode path).
     """
 
     requests: List[RequestRecord] = field(default_factory=list)
@@ -201,6 +211,7 @@ class FetchStats:
     checkpoint_hits: int = 0
     checkpoint_misses: int = 0
     checkpoint_near_hits: int = 0
+    decoded_events: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -227,6 +238,7 @@ class FetchStats:
         self.checkpoint_hits += other.checkpoint_hits
         self.checkpoint_misses += other.checkpoint_misses
         self.checkpoint_near_hits += other.checkpoint_near_hits
+        self.decoded_events += other.decoded_events
 
     def merge_concurrent(
         self, other: "FetchStats", completed_at_ms: float

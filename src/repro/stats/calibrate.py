@@ -54,18 +54,20 @@ def calibrate_apply_costs(
     # build time, and the replay half needs the query machinery from the
     # same package — importing it lazily keeps the package import acyclic
     from repro.deltas.base import Delta
+    from repro.deltas.columnar import ColumnarEventList
     from repro.deltas.eventlist import EventList
+    from repro.index.tgi.layout import TAG_AUX_EVENTLIST, TAG_EVENTLIST
     from repro.index.tgi.query import PartialState
     from repro.kvstore.codec import decode
 
-    encoded: List[Any] = []
+    encoded: List[Tuple[Any, Any]] = []
     seen = set()
     for machine in cluster.machines:
         for key, value in machine.items():
             if key in seen:
                 continue
             seen.add(key)
-            encoded.append(value)
+            encoded.append((key, value))
     if not encoded:
         return ApplyCalibration(
             DEFAULT_APPLY_PER_KB_MS, DEFAULT_REPLAY_PER_ITEM_MS
@@ -73,30 +75,54 @@ def calibrate_apply_costs(
     stride = max(1, len(encoded) // sample_rows)
     sampled = encoded[::stride][:sample_rows]
 
-    raw_kib = sum(v.raw_size for v in sampled) / 1024.0
+    raw_kib = sum(v.raw_size for _k, v in sampled) / 1024.0
     decode_ms = _best_ms(
-        lambda: [decode(v.payload) for v in sampled], repeats
+        lambda: [decode(v.payload) for _k, v in sampled], repeats
     )
     apply_per_kb = max(
         decode_ms / raw_kib if raw_kib > 0 else FLOOR_MS, FLOOR_MS
     )
 
-    values = [decode(v.payload) for v in sampled]
-    replayable: List[Tuple[str, Any, int]] = []
-    for value in values:
+    # replay the rows the way queries do: deltas load one by one, but a
+    # partition's eventlists apply as one chain per ``apply_eventlists``
+    # call (the per-item rate depends on it — the bulk kernel amortizes
+    # node thaw/freeze across a chain, exactly as warm replay does)
+    deltas: List[Any] = []
+    chains: dict = {}
+    replay_bytes = 0
+    items = 0
+    for (key, enc) in sampled:
+        value = decode(enc.payload)
         if isinstance(value, Delta):
-            replayable.append(("delta", value, len(value)))
-        elif isinstance(value, EventList):
-            replayable.append(("events", value, len(value.events)))
-    items = sum(n for _kind, _v, n in replayable)
+            deltas.append(value)
+            items += len(value)
+            replay_bytes += enc.raw_size
+        elif isinstance(value, (EventList, ColumnarEventList)):
+            # the active codec decides the measured replay path: pickled
+            # rows replay event-by-event, columnar rows go through the
+            # bulk apply_eventlists kernel — so replay_per_item_ms prices
+            # whichever path queries will actually take
+            tag, idx = key[2]
+            group = (
+                (key[0], key[1], tag, key[3])
+                if tag in (TAG_EVENTLIST, TAG_AUX_EVENTLIST)
+                else key
+            )
+            chains.setdefault(group, []).append((idx, value))
+            items += len(value)
+            replay_bytes += enc.raw_size
+    chain_lists = [
+        [v for _i, v in sorted(rows, key=lambda r: r[0])]
+        for _g, rows in sorted(chains.items(), key=lambda kv: repr(kv[0]))
+    ]
 
     def _replay() -> None:
         state = PartialState()
-        for kind, value, _n in replayable:
-            if kind == "delta":
-                state.load_delta(value)
-            else:
-                state.apply_events(value.events)
+        for delta in deltas:
+            state.load_delta(delta)
+        for chain in chain_lists:
+            state.apply_eventlists(chain)
+        state.node_state(0)  # freeze pending accumulators: part of replay
 
     if items > 0:
         replay_ms = _best_ms(_replay, repeats)
@@ -109,4 +135,7 @@ def calibrate_apply_costs(
         replay_per_item_ms=replay_per_item,
         sample_rows=len(sampled),
         sample_items=items,
+        items_per_kb=(
+            items / (replay_bytes / 1024.0) if replay_bytes > 0 else 0.0
+        ),
     )

@@ -61,12 +61,17 @@ class ApplyCalibration:
             event applied into query state.
         sample_rows: rows the decode microbenchmark timed.
         sample_items: components/events the replay microbenchmark timed.
+        items_per_kb: observed replay items per raw KiB over the sampled
+            rows (0 = not measured).  Feeds the planner's metadata-only
+            apply estimates, replacing the fixed density guess — columnar
+            payloads pack far more events per KiB than pickled ones.
     """
 
     apply_per_kb_ms: float
     replay_per_item_ms: float
     sample_rows: int = 0
     sample_items: int = 0
+    items_per_kb: float = 0.0
 
 
 @dataclass(frozen=True)

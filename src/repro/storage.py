@@ -34,7 +34,11 @@ _MAGIC = "hgs-index"
 # calibration) that planning, pricing and nearest-in-time checkpoint
 # seeding read; version-4 files lack it and would plan with the
 # degenerate whole-span bound while claiming stats-backed estimates
-_FORMAT_VERSION = 5
+# 6: rows may carry the columnar eventlist codec (tags C/c) and
+# TGIConfig the `apply_workers` lane count; version-5 files pickle-load
+# but would decode columnar payloads written by a re-save incorrectly
+# and fail on config access during parallel replay
+_FORMAT_VERSION = 6
 
 
 class PersistenceError(HGSError):

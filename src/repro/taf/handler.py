@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.deltas.columnar import decoded_events_total
 from repro.errors import IndexError_
 from repro.exec import FetchPlan
 from repro.graph.events import Event
@@ -61,6 +62,7 @@ class ParallelFetchStats:
     checkpoint_hits: int = 0
     checkpoint_misses: int = 0
     checkpoint_near_hits: int = 0
+    decoded_events: int = 0
     pipelined_ms: Optional[float] = None
 
     @property
@@ -82,6 +84,7 @@ class ParallelFetchStats:
         self.checkpoint_hits += fetch.checkpoint_hits
         self.checkpoint_misses += fetch.checkpoint_misses
         self.checkpoint_near_hits += fetch.checkpoint_near_hits
+        self.decoded_events += fetch.decoded_events
 
 
 class TGIHandler:
@@ -160,6 +163,7 @@ class TGIHandler:
         chunks = [chunk for chunk in chunks if chunk]
         out: List[NodeT] = []
         if self.tgi.config.pipeline and chunks:
+            decoded0 = decoded_events_total()
             plans = []
             finalizers = []
             for chunk in chunks:
@@ -180,6 +184,9 @@ class TGIHandler:
                 # on the shared timeline
                 stats.partition_sim_ms.append(result.stats.sim_time_ms)
             stats.absorb(pipelined.stats)
+            # the finalizers above extracted per-node events from the
+            # fetched eventlists — count what they forced to materialize
+            stats.decoded_events += decoded_events_total() - decoded0
             stats.pipelined_ms = pipelined.stats.sim_time_ms
             self.last_fetch_stats = stats
             return out
