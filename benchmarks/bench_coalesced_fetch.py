@@ -1,0 +1,203 @@
+"""Cross-query fetch coalescing vs pipelined-only vs sequential k-hops.
+
+PR 4's pipelining overlaps independent plans *in time* but never merges
+their store work: 16 overlapping k-hop neighborhoods still fetch every
+shared micro-partition 16 times and issue 16 plans' worth of multiget
+rounds.  The coalescing layer (single-flight key dedup + machine-level
+round merging) makes the batch pay for each unique key once and share
+rounds across plans, so heavily-overlapping query batches approach the
+cost of one query.
+
+Three strategies over the same 16 centers (dataset 1, m=4, k=2):
+
+- **sequential**: one ``session.execute`` per center (PR 1 schedule);
+- **pipelined-only**: all 16 plans through ``execute_many`` with
+  coalescing off — the PR 4/6 pipelined baseline;
+- **batched+coalesced**: the same plans with coalescing on.
+
+The bar: coalesced execution issues >= 2.5x fewer store requests and
+completes in >= 2x lower simulated time than the pipelined-only
+baseline, with member-identical neighborhoods.  Emits
+``BENCH_coalesced_fetch.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import build_tgi, print_series, probe_nodes
+
+N_CENTERS = 16
+K = 2
+M = 4
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / (
+    "BENCH_coalesced_fetch.json"
+)
+
+
+@pytest.fixture(scope="module")
+def setup(dataset1_events):
+    t = dataset1_events[-1].time
+    centers = probe_nodes(dataset1_events, N_CENTERS, seed=31, alive_at=t)
+    return dataset1_events, centers, t
+
+
+def _row(label, stats, values, wall_ms):
+    return {
+        "label": label,
+        "values": values,
+        "requests": stats.num_requests,
+        "bytes": stats.bytes_read,
+        "rounds": stats.rounds,
+        "sim_ms": stats.sim_time_ms,
+        "coalesced_hits": stats.coalesced_hits,
+        "merged_rounds": stats.merged_rounds,
+        "wall_ms": wall_ms,
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential(setup):
+    events, centers, t = setup
+    tgi = build_tgi(events, m=M)
+    from repro.kvstore.cost import FetchStats
+
+    total = FetchStats()
+    values = []
+    start = time.perf_counter()
+    for center in centers:
+        values.append(tgi.get_khop(center, t, k=K))
+        total.merge(tgi.last_fetch_stats)
+    wall_ms = (time.perf_counter() - start) * 1e3
+    return _row("sequential per-center", total, values, wall_ms)
+
+
+def _run_many(events, centers, t, coalesce):
+    tgi = build_tgi(events, m=M)
+    plans, finalizes = [], []
+    for center in centers:
+        plan, finalize, _ckpt = tgi._khops_plan([center], t, K)
+        plans.append(plan)
+        finalizes.append(finalize)
+    start = time.perf_counter()
+    pipe = tgi.executor.execute_many(
+        plans, clients=1, pipelined=True, coalesce=coalesce
+    )
+    values = [
+        finalize(result.values)[0]
+        for finalize, result in zip(finalizes, pipe.results)
+    ]
+    wall_ms = (time.perf_counter() - start) * 1e3
+    return pipe, values, wall_ms
+
+
+@pytest.fixture(scope="module")
+def pipelined_only(setup):
+    events, centers, t = setup
+    pipe, values, wall_ms = _run_many(events, centers, t, coalesce=False)
+    return _row("pipelined-only (PR 6)", pipe.stats, values, wall_ms)
+
+
+@pytest.fixture(scope="module")
+def coalesced(setup):
+    events, centers, t = setup
+    pipe, values, wall_ms = _run_many(events, centers, t, coalesce=True)
+    row = _row("batched+coalesced", pipe.stats, values, wall_ms)
+    row["unique_keys"] = pipe.coalesce.unique_keys
+    row["fair_requests_sum"] = sum(pipe.coalesce.fair_requests)
+    return row
+
+
+def _fmt(row):
+    return (
+        f"{row['label']:<24} {row['requests']:>6} req {row['rounds']:>5} "
+        f"rounds {row['bytes'] / 1024:>9.1f} KiB {row['sim_ms']:>8.2f} "
+        f"sim-ms {row['coalesced_hits']:>5} coalesced "
+        f"{row['wall_ms']:>8.1f} wall-ms"
+    )
+
+
+def test_coalesced_fetch_report(benchmark, sequential, pipelined_only,
+                                coalesced):
+    rows = benchmark.pedantic(
+        lambda: [sequential, pipelined_only, coalesced],
+        rounds=1, iterations=1,
+    )
+    print_series(
+        f"Cross-query fetch coalescing ({N_CENTERS} overlapping centers, "
+        f"k={K}, m={M})", "",
+        [_fmt(r) for r in rows],
+    )
+
+
+def test_members_identical_across_strategies(benchmark, sequential,
+                                             pipelined_only, coalesced):
+    def _check():
+        for a, b in zip(sequential["values"], pipelined_only["values"]):
+            assert set(a.nodes()) == set(b.nodes())
+            assert set(a.edges()) == set(b.edges())
+        for a, b in zip(sequential["values"], coalesced["values"]):
+            assert set(a.nodes()) == set(b.nodes())
+            assert set(a.edges()) == set(b.edges())
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+
+
+def test_coalesced_beats_pipelined_baseline(benchmark, pipelined_only,
+                                            coalesced):
+    def _check():
+        assert coalesced["requests"] * 2.5 <= pipelined_only["requests"]
+        assert coalesced["sim_ms"] * 2.0 <= pipelined_only["sim_ms"]
+        assert coalesced["rounds"] < pipelined_only["rounds"]
+        assert coalesced["coalesced_hits"] > 0
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+
+
+def test_fair_attribution_conserved(benchmark, coalesced):
+    def _check():
+        # per-plan fair shares sum exactly to the deduplicated totals
+        assert coalesced["fair_requests_sum"] == pytest.approx(
+            coalesced["requests"]
+        )
+        assert coalesced["unique_keys"] == coalesced["requests"]
+
+    benchmark.pedantic(_check, rounds=1, iterations=1)
+
+
+def test_emit_json(benchmark, sequential, pipelined_only, coalesced):
+    def _emit():
+        def strip(row):
+            return {
+                k: (round(v, 2) if isinstance(v, float) else v)
+                for k, v in row.items()
+                if k not in ("values",)
+            }
+
+        payload = {
+            "dataset": 1,
+            "m": M,
+            "centers": N_CENTERS,
+            "k": K,
+            "sequential": strip(sequential),
+            "pipelined_only": strip(pipelined_only),
+            "coalesced": strip(coalesced),
+            "request_reduction_vs_pipelined": round(
+                pipelined_only["requests"] / coalesced["requests"], 2
+            ),
+            "sim_speedup_vs_pipelined": round(
+                pipelined_only["sim_ms"] / coalesced["sim_ms"], 2
+            ),
+        }
+        RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        return payload
+
+    payload = benchmark.pedantic(_emit, rounds=1, iterations=1)
+    assert RESULT_PATH.exists()
+    assert payload["request_reduction_vs_pipelined"] >= 2.5
+    assert payload["sim_speedup_vs_pipelined"] >= 2.0

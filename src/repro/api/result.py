@@ -42,6 +42,12 @@ class QueryStats:
             while answering the query (0 when every row was pickled, or
             when the bulk replay kernel applied the arrays directly
             without building Event objects at all).
+        coalesced_hits: keys this query needed that another concurrently
+            executing plan had already fetched (single-flight dedup; 0
+            outside batched/coalesced execution).
+        coalesced_bytes_saved: stored bytes those hits kept off the wire.
+        merged_rounds: multiget rounds this query shared with at least
+            one other plan in a batch (always <= ``rounds``).
         algorithm: the plan the session executed (e.g. ``snapshot-first``).
         predicted_ms: the cost model's estimate for the chosen plan,
             priced via ``Cluster.plan_records`` before fetching.
@@ -49,9 +55,14 @@ class QueryStats:
             see the margin the choice was made on.
     """
 
-    requests: int = 0
+    # requests / bytes_read are floats because batched coalesced
+    # execution attributes each shared fetch fairly — 1/n of a request
+    # and stored_bytes/n to each of its n beneficiary queries — so a
+    # per-request share can be fractional; standalone queries keep
+    # integral values
+    requests: float = 0
     rounds: int = 0
-    bytes_read: int = 0
+    bytes_read: float = 0
     sim_time_ms: float = 0.0
     overlap_saved_ms: float = 0.0
     apply_ms: float = 0.0
@@ -62,6 +73,9 @@ class QueryStats:
     checkpoint_misses: int = 0
     checkpoint_near_hits: int = 0
     decoded_events: int = 0
+    coalesced_hits: int = 0
+    coalesced_bytes_saved: int = 0
+    merged_rounds: int = 0
     algorithm: Optional[str] = None
     predicted_ms: Optional[float] = None
     candidates: Dict[str, float] = field(default_factory=dict)
@@ -102,6 +116,9 @@ class QueryStats:
             checkpoint_misses=getattr(stats, "checkpoint_misses", 0),
             checkpoint_near_hits=getattr(stats, "checkpoint_near_hits", 0),
             decoded_events=getattr(stats, "decoded_events", 0),
+            coalesced_hits=getattr(stats, "coalesced_hits", 0),
+            coalesced_bytes_saved=getattr(stats, "coalesced_bytes_saved", 0),
+            merged_rounds=getattr(stats, "merged_rounds", 0),
             algorithm=algorithm,
             predicted_ms=predicted_ms,
             candidates=dict(candidates or {}),
@@ -111,8 +128,13 @@ class QueryStats:
         """JSON-ready summary, keeping the CLI's historical key names
         (``deltas_fetched``, ``rounds``, ``sim_time_ms``, ``cache``) and
         adding the plan-selection fields when a choice was made."""
+        def _num(value: float) -> Any:
+            # fair fractional shares from batched execution round to 2
+            # decimals; integral values stay ints for JSON stability
+            return int(value) if float(value).is_integer() else round(value, 2)
+
         out: Dict[str, Any] = {
-            "deltas_fetched": self.requests,
+            "deltas_fetched": _num(self.requests),
             "rounds": self.rounds,
             "sim_time_ms": round(self.sim_time_ms, 2),
         }
@@ -138,6 +160,12 @@ class QueryStats:
             }
         if self.decoded_events:
             out["decoded_events"] = self.decoded_events
+        if self.coalesced_hits or self.merged_rounds:
+            out["coalesce"] = {
+                "hits": self.coalesced_hits,
+                "bytes_saved": _num(self.coalesced_bytes_saved),
+                "merged_rounds": self.merged_rounds,
+            }
         if self.algorithm is not None:
             out["algorithm"] = self.algorithm
             out["actual_ms"] = round(self.actual_ms, 2)

@@ -109,12 +109,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        "execution timeline (async-client model); "
                        "--no-pipeline restores the strictly sequential "
                        "per-center schedule")
+    build.add_argument("--coalesce", default=True,
+                       action=argparse.BooleanOptionalAction,
+                       help="cross-query fetch coalescing for batched "
+                       "execution: keys needed by several concurrent "
+                       "plans are fetched once (single-flight dedup) and "
+                       "same-window fetches merge into one multiget "
+                       "round; --no-coalesce restores independent "
+                       "per-plan rounds (only engages with --pipeline "
+                       "and more than one plan in flight)")
 
     query = sub.add_parser("query", help="query a saved index")
     query.add_argument("index", help="index file from `hgs build`")
     query.add_argument("--explain", action="store_true",
                        help="print the retrieval plan and its cost "
                        "estimate without executing the fetch")
+    query.add_argument("--batch", metavar="FILE",
+                       help="batched execution: read JSON-lines request "
+                       "specs from FILE ('-' = stdin) — e.g. "
+                       '{"kind": "khop", "node": 17, "time": 900, "k": 2} '
+                       "— run them all through one shared coalesced "
+                       "timeline, and emit one JSON result per line; "
+                       "with --explain, print each request's plan "
+                       "instead (no subcommand needed)")
     query.add_argument("--algorithm",
                        choices=[ALGO_AUTO, ALGO_SNAPSHOT_FIRST, ALGO_KHOP],
                        default=ALGO_AUTO,
@@ -122,7 +139,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(Algorithm 3), khop (targeted Algorithm 4), or "
                        "auto (cost-based selection via plan pricing; "
                        "predicted and actual cost appear in the JSON)")
-    qsub = query.add_subparsers(dest="query_kind", required=True)
+    # not required at parse time: --batch reads request specs from a
+    # file instead of the subcommand; _cmd_query validates the split
+    qsub = query.add_subparsers(dest="query_kind", required=False)
 
     qsnap = qsub.add_parser("snapshot", help="graph as of a time point")
     qsnap.add_argument("time", type=int)
@@ -182,6 +201,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         checkpoint_admission=args.checkpoint_admission,
         apply_workers=args.apply_workers,
         pipeline=args.pipeline,
+        coalesce=args.coalesce,
         cluster=ClusterConfig(
             num_machines=args.machines,
             replication=args.replication,
@@ -225,6 +245,56 @@ def _request_for(args: argparse.Namespace) -> QueryRequest:
                         k=args.k, algorithm=args.algorithm, single=True)
 
 
+def _request_from_spec(spec: dict, default_algorithm: str) -> QueryRequest:
+    """Compile one ``--batch`` JSON-lines spec into a session request.
+
+    Specs mirror the query subcommands: ``{"kind": "snapshot", "time":
+    t}``, ``{"kind": "node", "node": n, "ts": a, "te": b}``, ``{"kind":
+    "khop", "node": n, "time": t, "k": k}`` (``"nodes": [...]`` batches
+    several k-hop centers in one request).  ``clients`` and
+    ``algorithm`` are optional per-spec overrides."""
+    kind = spec.get("kind")
+    clients = int(spec.get("clients", 1))
+    if kind == "snapshot":
+        return QueryRequest(kind="snapshot", t=spec["time"],
+                            clients=clients)
+    if kind == "node":
+        return QueryRequest(kind="node_histories", ts=spec["ts"],
+                            te=spec["te"], nodes=(spec["node"],),
+                            clients=clients, single=True)
+    if kind == "khop":
+        if "nodes" in spec:
+            nodes, single = tuple(spec["nodes"]), False
+        else:
+            nodes, single = (spec["node"],), True
+        return QueryRequest(
+            kind="khop", t=spec["time"], nodes=nodes,
+            k=int(spec.get("k", 1)),
+            algorithm=spec.get("algorithm", default_algorithm),
+            clients=clients, single=single,
+        )
+    raise ValueError(
+        f"unknown batch request kind {kind!r} "
+        "(expected snapshot, node, or khop)"
+    )
+
+
+def _batch_specs(path: str) -> List[dict]:
+    """Read ``--batch`` request specs: one JSON object per line
+    (blank lines and ``#`` comments skipped); ``-`` reads stdin."""
+    if path == "-":
+        text = sys.stdin.read()
+    else:
+        text = Path(path).expanduser().read_text()
+    specs = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        specs.append(json.loads(line))
+    return specs
+
+
 def _versions_summary(history) -> list:
     return [
         {"t": t, "alive": s is not None,
@@ -234,13 +304,71 @@ def _versions_summary(history) -> list:
     ]
 
 
+def _result_payload(request: QueryRequest, result) -> dict:
+    """The kind-specific half of one query's JSON output."""
+    if request.kind == "snapshot":
+        return {"snapshot": _graph_summary(result.value)}
+    if request.kind == "node_histories":
+        return {
+            "node": request.nodes[0],
+            "versions": _versions_summary(result.value),
+        }
+    if request.single:
+        return {
+            "center": request.nodes[0],
+            "k": request.k,
+            "neighborhood": _graph_summary(result.value),
+            "members": sorted(result.value.nodes()),
+        }
+    return {
+        "centers": list(request.nodes),
+        "k": request.k,
+        "neighborhoods": [
+            _graph_summary(g) if g is not None else None
+            for g in result.value
+        ],
+    }
+
+
+def _cmd_query_batch(session: GraphSession,
+                     args: argparse.Namespace) -> int:
+    """``--batch``: all requests through one shared coalesced timeline,
+    one JSON result per line (input order)."""
+    requests = [
+        _request_from_spec(spec, args.algorithm)
+        for spec in _batch_specs(args.batch)
+    ]
+    if args.explain:
+        for i, request in enumerate(requests):
+            print(f"-- request {i}: {request.describe()}")
+            print(session.explain(request))
+        return 0
+    for request, result in zip(requests,
+                               session.execute_batch(requests)):
+        print(json.dumps({
+            **_result_payload(request, result),
+            **result.stats.as_dict(),
+        }))
+    return 0
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
+    if args.batch is None and args.query_kind is None:
+        print("hgs query: a query subcommand (snapshot/node/khop) or "
+              "--batch FILE is required", file=sys.stderr)
+        return 2
+    if args.batch is not None and args.query_kind is not None:
+        print("hgs query: --batch replaces the query subcommand; "
+              "give one or the other", file=sys.stderr)
+        return 2
     index = load_index(args.index)
     if not isinstance(index, TGI):
         return _cmd_query_legacy(index, args)
     session = GraphSession.from_index(
         index, index_id=str(Path(args.index).expanduser().resolve())
     )
+    if args.batch is not None:
+        return _cmd_query_batch(session, args)
     request = _request_for(args)
     if args.explain:
         print(session.explain(request))
@@ -270,7 +398,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 def _cmd_query_legacy(index, args: argparse.Namespace) -> int:
     """Baseline index families queried via the bare interface (no
-    planner, so no EXPLAIN or algorithm selection)."""
+    planner, so no EXPLAIN, algorithm selection, or batching)."""
+    if args.batch is not None:
+        print(f"--batch supports TGI indexes (got {type(index).__name__})",
+              file=sys.stderr)
+        return 1
     if args.explain:
         print(f"--explain supports TGI indexes (got {type(index).__name__})")
         return 1
@@ -327,6 +459,7 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "checkpoint_entries": index.config.checkpoint_entries,
                 "checkpoint_admission": index.config.checkpoint_admission,
                 "pipeline": index.config.pipeline,
+                "coalesce": index.config.coalesce,
             })
             if index.stats:
                 cal = index.stats.calibration

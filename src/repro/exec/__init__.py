@@ -30,6 +30,14 @@ leaving each index method to hand-assemble key lists and call
   plan's dependency resolves, overlapping one plan's multigets with the
   others' rounds and apply work.
 
+- :mod:`repro.exec.coalesce` — **cross-query fetch coalescing** under
+  pipelined execution: a single-flight in-flight table dedups keys
+  requested by several plans (each fetched once, consumers counted as
+  ``coalesced_hits``), keys registered in the same scheduling window
+  merge into one multiget round regardless of which plan contributed
+  them, and a :class:`~repro.exec.coalesce.CoalesceReport` splits the
+  shared work fairly across beneficiaries for per-query accounting.
+
 - :mod:`repro.exec.cache` — a bounded-LRU
   :class:`~repro.exec.cache.DeltaCache` over decoded rows keyed by delta
   key.  Repeated queries — and the many nodes of one TAF fetch that share
@@ -57,6 +65,7 @@ from repro.exec.cache import (
     StateCheckpointCache,
     shared_caches,
 )
+from repro.exec.coalesce import CoalesceReport, CoalesceScope
 from repro.exec.executor import PipelineResult, PlanExecutor, PlanResult
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, StageFactory
 
@@ -65,6 +74,8 @@ __all__ = [
     "CacheSlot",
     "CacheStats",
     "CheckpointStats",
+    "CoalesceReport",
+    "CoalesceScope",
     "DeltaCache",
     "StateCheckpointCache",
     "shared_caches",

@@ -1,0 +1,346 @@
+"""Cross-query fetch coalescing: single-flight dedup + round merging.
+
+The pipelined executor (PRs 2/4) overlaps independent plans *in time* but
+never merges their work: two plans touching the same micro-delta keys pay
+for every byte twice and issue twice the requests.  This module adds the
+layer between :meth:`PlanExecutor.execute_many` and
+:meth:`Cluster.multiget` that makes N overlapping queries cost close to
+one, with three composed mechanisms:
+
+1. **Single-flight key dedup** — a per-execution in-flight table keyed by
+   store key.  The first plan to request a key in a scheduling window
+   *owns* the fetch; every other plan that asks for the same key (in the
+   same window or any later one) receives the already-fetched row and is
+   counted as a ``coalesced_hit`` — distinct from a cache hit, because
+   the row *was* fetched during this execution, just only once.
+2. **Machine-level round merging** — all keys registered in one
+   scheduling window (one round-robin turn over the in-flight plans)
+   are issued as a single merged multiget, so requests from different
+   plans routed to the same machine share one round.  The cluster splits
+   merged rounds that exceed ``ClusterConfig.max_request_keys`` into
+   sequential chunks with exact per-chunk attribution.
+3. **Fair attribution** — every fetched row remembers its beneficiaries;
+   :meth:`CoalesceScope.report` splits each row's request and bytes
+   evenly across them so that batched per-query stats sum to the true
+   totals instead of charging the whole row to whichever plan happened
+   to own the flight.
+
+Isolation follows the delta-cache discipline already in force: decoded
+*rows* are shared across consumers (they are treated as immutable
+everywhere), while query *state* — graphs, histories — is always built
+per plan, so mutating one plan's returned value never leaks into
+another's.
+
+If a merged fetch fails (machine down, stale replica with no live
+holder), every not-yet-completed flight of that window is deregistered
+before the error propagates: waiters never observe a partial row, and a
+retry after recovery re-registers the flights cleanly instead of joining
+a dangling entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.exec.cache import DeltaCache
+from repro.exec.plan import FetchStage, KeyTuple
+from repro.kvstore.cluster import Cluster
+from repro.kvstore.cost import ExecutionTimeline, simulate_plan
+
+
+def _replay_items(value: Any) -> int:
+    """How many components/events applying a decoded row replays: delta
+    cardinality or event count; 1 for opaque scalar rows (pointers)."""
+    try:
+        return len(value)
+    except TypeError:
+        events = getattr(value, "events", None)
+        return len(events) if events is not None else 1
+
+
+@dataclass
+class _Flight:
+    """One key's single-flight entry: who fetches it, who consumed it."""
+
+    key: KeyTuple
+    owner: int  # plan index that issues the store request
+    beneficiaries: Set[int] = field(default_factory=set)
+    value: Any = None
+    stored_bytes: int = 0
+    raw_bytes: int = 0
+    completed_ms: float = 0.0
+    done: bool = False
+
+
+@dataclass
+class _Participation:
+    """One cursor's stake in the current scheduling window."""
+
+    cursor: Any
+    owned: List[KeyTuple] = field(default_factory=list)
+    waiting: List[_Flight] = field(default_factory=list)
+    #: latest completion among already-done flights this stage consumed
+    dep_ms: float = 0.0
+    #: replay cost accrued before the flush (cache hits, done flights)
+    apply_ms: float = 0.0
+
+
+@dataclass
+class _Window:
+    """One scheduling window: the flights registered and the cursors
+    participating during one round-robin turn over the plans."""
+
+    pending: List[_Flight] = field(default_factory=list)
+    parts: List[_Participation] = field(default_factory=list)
+
+
+@dataclass
+class CoalesceReport:
+    """Execution-level coalescing summary with fair per-plan attribution.
+
+    ``fair_requests[i]`` / ``fair_bytes[i]`` are plan ``i``'s share of
+    the store work: each fetched row contributes ``1/n`` of a request
+    and ``stored_bytes/n`` bytes to each of its ``n`` beneficiaries, so
+    the per-plan shares sum exactly to the deduplicated totals.
+    """
+
+    rounds_issued: int
+    merged_rounds: int
+    unique_keys: int
+    coalesced_hits: int
+    fair_requests: List[float]
+    fair_bytes: List[float]
+
+
+class CoalesceScope:
+    """Single-flight table + merged-round issue for one ``execute_many``.
+
+    The executor drives the protocol: per scheduling window it calls
+    :meth:`admit_stage` once for each advancing cursor (cache lookups,
+    flight registration/joining), then :meth:`flush_window` once, which
+    issues the window's merged multiget, settles every participant's
+    values/stats/timing, and marks the flights done.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cache: Optional[DeltaCache],
+        num_plans: int,
+        apply_workers: int = 1,
+    ) -> None:
+        self.cluster = cluster
+        self.cache = cache
+        self.model = cluster.config.cost_model
+        self.apply_workers = apply_workers
+        #: merged rounds run in a client namespace past every plan's own,
+        #: modeling one shared async fetch pool for coalesced traffic
+        self.client_offset_plans = num_plans
+        self.flights: Dict[KeyTuple, _Flight] = {}
+        self.rounds_issued = 0
+        self.merged_rounds = 0
+        self.coalesced_hits = 0
+
+    # ------------------------------------------------------------------
+    def begin_window(self) -> _Window:
+        return _Window()
+
+    def admit_stage(
+        self, window: _Window, cursor: Any, stage: FetchStage
+    ) -> None:
+        """Register one cursor's resolved stage into the window: serve
+        cache hits and already-done flights immediately, join in-window
+        flights as a waiter, own the rest."""
+        model = self.model
+        costed = model.costs_apply
+        part = _Participation(cursor=cursor)
+        stats = cursor.result.stats
+        keys = stage.keys()
+        missing: List[KeyTuple] = []
+        if self.cache is None:
+            missing = keys
+        else:
+            for key in keys:
+                row = self.cache.lookup(key)
+                if row is None:
+                    missing.append(key)
+                else:
+                    cursor.result.values[key] = row.value
+                    stats.cache_hits += 1
+                    stats.cache_bytes_saved += row.stored_bytes
+                    if costed:
+                        part.apply_ms += model.apply_time(
+                            row.raw_bytes, _replay_items(row.value),
+                            decoded=True,
+                        )
+            stats.cache_misses += len(missing)
+        for key in missing:
+            flight = self.flights.get(key)
+            if flight is None:
+                flight = _Flight(key=key, owner=cursor.index)
+                flight.beneficiaries.add(cursor.index)
+                self.flights[key] = flight
+                window.pending.append(flight)
+                part.owned.append(key)
+                continue
+            flight.beneficiaries.add(cursor.index)
+            stats.coalesced_hits += 1
+            self.coalesced_hits += 1
+            if flight.done:
+                # fetched in an earlier window: the row is available the
+                # instant that round completed
+                cursor.result.values[key] = flight.value
+                stats.coalesced_bytes_saved += flight.stored_bytes
+                part.dep_ms = max(part.dep_ms, flight.completed_ms)
+                if costed:
+                    part.apply_ms += model.apply_time(
+                        flight.raw_bytes, _replay_items(flight.value),
+                        decoded=True,
+                    )
+            else:
+                # registered earlier this window by another plan: the
+                # value lands at the flush
+                part.waiting.append(flight)
+        window.parts.append(part)
+
+    def flush_window(
+        self, window: _Window, clients: int, timeline: ExecutionTimeline
+    ) -> None:
+        """Issue the window's merged round and settle every participant."""
+        model = self.model
+        costed = model.costs_apply
+        pending = window.pending
+        chunk_of: Dict[KeyTuple, int] = {}
+        chunk_timings: List[Any] = []
+        chunk_plans: Dict[int, Set[int]] = {}
+        values: Dict[KeyTuple, Any] = {}
+        rec_by_key: Dict[KeyTuple, Any] = {}
+        if pending:
+            # the merged round is released once every owning plan has its
+            # previous round's data in hand (waiters never gate it)
+            release = max(
+                (p.cursor.ready_at for p in window.parts if p.owned),
+                default=0.0,
+            )
+            merged_keys = [f.key for f in pending]
+            try:
+                values, stats = self.cluster.multiget(
+                    merged_keys,
+                    clients=clients,
+                    timeline=timeline,
+                    at=release,
+                    client_offset=self.client_offset_plans * clients,
+                )
+            except Exception:
+                # never leave waiters joined to a fetch that will not
+                # complete: deregister so a retry re-registers cleanly
+                for flight in pending:
+                    if not flight.done:
+                        self.flights.pop(flight.key, None)
+                raise
+            limit = self.cluster.config.max_request_keys
+            size = limit if limit else len(merged_keys)
+            for i, key in enumerate(merged_keys):
+                chunk_of[key] = i // size
+            chunk_timings = timeline.rounds[-stats.rounds:]
+            rec_by_key = {r.key: r for r in stats.requests}
+            for flight in pending:
+                record = rec_by_key[flight.key]
+                flight.value = values[flight.key]
+                flight.stored_bytes = record.stored_bytes
+                flight.raw_bytes = record.raw_bytes
+                flight.completed_ms = chunk_timings[
+                    chunk_of[flight.key]
+                ].completed_ms
+                flight.done = True
+                ci = chunk_of[flight.key]
+                chunk_plans.setdefault(ci, set()).update(
+                    flight.beneficiaries
+                )
+            self.rounds_issued += stats.rounds
+            self.merged_rounds += sum(
+                1 for plans in chunk_plans.values() if len(plans) > 1
+            )
+
+        for part in window.parts:
+            cursor = part.cursor
+            cstats = cursor.result.stats
+            apply_ms = part.apply_ms
+            my_chunks: Set[int] = set()
+            owned_records = []
+            for key in part.owned:
+                record = rec_by_key[key]
+                owned_records.append(record)
+                cursor.result.values[key] = values[key]
+                my_chunks.add(chunk_of[key])
+                if costed:
+                    apply_ms += model.apply_time(
+                        record.raw_bytes, _replay_items(values[key])
+                    )
+            for flight in part.waiting:
+                cursor.result.values[flight.key] = flight.value
+                cstats.coalesced_bytes_saved += flight.stored_bytes
+                my_chunks.add(chunk_of[flight.key])
+                if costed:
+                    apply_ms += model.apply_time(
+                        flight.raw_bytes, _replay_items(flight.value),
+                        decoded=True,
+                    )
+            cstats.requests.extend(owned_records)
+            owned_chunks = {chunk_of[k] for k in part.owned}
+            cstats.rounds += len(owned_chunks)
+            cstats.merged_rounds += sum(
+                1 for ci in owned_chunks if len(chunk_plans[ci]) > 1
+            )
+            arrive = part.dep_ms
+            for ci in my_chunks:
+                arrive = max(arrive, chunk_timings[ci].completed_ms)
+            if arrive:
+                cursor.ready_at = max(cursor.ready_at, arrive)
+            if owned_records:
+                # the plan's standalone share: what its own keys would
+                # have cost as one round of its own
+                cursor.standalone_ms += simulate_plan(owned_records, model)
+            if apply_ms > 0.0:
+                cstats.apply_ms += apply_ms
+                lane = f"plan-{cursor.index}"
+                if self.apply_workers > 1:
+                    lane = f"{lane}-w{cursor.apply_seq % self.apply_workers}"
+                cursor.apply_seq += 1
+                work = timeline.submit_local(
+                    apply_ms, at=cursor.ready_at, lane=lane
+                )
+                cursor.apply_done = max(cursor.apply_done, work.completed_ms)
+                cursor.standalone_ms += apply_ms
+            if self.cache is not None:
+                for record in owned_records:
+                    self.cache.admit(
+                        record.key,
+                        values[record.key],
+                        record.stored_bytes,
+                        record.raw_bytes,
+                    )
+
+    # ------------------------------------------------------------------
+    def report(self, num_plans: int) -> CoalesceReport:
+        """Fair per-plan attribution over every completed flight."""
+        fair_requests = [0.0] * num_plans
+        fair_bytes = [0.0] * num_plans
+        unique = 0
+        for flight in self.flights.values():
+            if not flight.done:
+                continue
+            unique += 1
+            share = len(flight.beneficiaries)
+            for index in flight.beneficiaries:
+                fair_requests[index] += 1.0 / share
+                fair_bytes[index] += flight.stored_bytes / share
+        return CoalesceReport(
+            rounds_issued=self.rounds_issued,
+            merged_rounds=self.merged_rounds,
+            unique_keys=unique,
+            coalesced_hits=self.coalesced_hits,
+            fair_requests=fair_requests,
+            fair_bytes=fair_bytes,
+        )

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import DeltaCache
+from repro.exec.coalesce import CoalesceReport, CoalesceScope
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, KeyTuple
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import ExecutionTimeline, FetchStats, RoundTiming
@@ -72,11 +73,19 @@ class PipelineResult:
     is that plan's sequential cost minus its completion time.  ``stats``
     aggregates all plans — its ``sim_time_ms`` is the timeline makespan.
     ``timeline`` is ``None`` when the plans ran sequentially.
+
+    Under coalesced execution ``coalesce`` carries the
+    :class:`~repro.exec.coalesce.CoalesceReport` (merged-round counts and
+    fair per-plan request/byte attribution); the aggregate ``stats``'
+    ``rounds`` then counts rounds actually *issued* (a merged round once),
+    while each per-plan ``rounds`` counts the rounds that plan
+    participated in.
     """
 
     results: List[PlanResult]
     stats: FetchStats
     timeline: Optional[ExecutionTimeline] = None
+    coalesce: Optional[CoalesceReport] = None
 
 
 class _PlanCursor:
@@ -112,6 +121,7 @@ class PlanExecutor:
         cluster: Cluster,
         cache: Optional[DeltaCache] = None,
         apply_workers: int = 1,
+        coalesce: bool = False,
     ) -> None:
         if apply_workers < 1:
             raise ValueError("apply_workers must be positive")
@@ -122,6 +132,11 @@ class PlanExecutor:
         #: lanes of the shared timeline instead of serializing on one
         #: (mirroring the real ThreadPoolExecutor replay in the TGI).
         self.apply_workers = apply_workers
+        #: Default for :meth:`execute_many`'s ``coalesce`` argument:
+        #: single-flight key dedup + merged rounds across concurrent
+        #: plans.  Only ever engages for pipelined multi-plan execution;
+        #: single plans and sequential mode are untouched either way.
+        self.coalesce = coalesce
 
     def execute(self, plan: FetchPlan, clients: int = 1) -> PlanResult:
         result = PlanResult()
@@ -149,6 +164,7 @@ class PlanExecutor:
         plans: Sequence[FetchPlan],
         clients: int = 1,
         pipelined: bool = True,
+        coalesce: Optional[bool] = None,
     ) -> PipelineResult:
         """Execute several independent plans, overlapped or sequentially.
 
@@ -162,6 +178,16 @@ class PlanExecutor:
         *bounded* cache, the interleaved schedule changes the LRU
         lookup/eviction order, so hit counts — and, past capacity, which
         keys reach the store — can differ between the two modes.
+
+        ``coalesce`` (defaulting to the executor's flag) additionally
+        merges the plans' fetch work: keys requested by several plans are
+        fetched once (single-flight dedup, ``coalesced_hits``) and keys
+        registered in the same round-robin turn are issued as one merged
+        multiget round.  Values remain identical; the fetched key set is
+        the *union* of the plans' key sets instead of their concatenation.
+        Coalescing only engages for pipelined execution of two or more
+        plans — sequential mode and single plans are bit-identical to the
+        non-coalesced path.
         """
         if not pipelined:
             results = [self.execute(plan, clients) for plan in plans]
@@ -169,14 +195,30 @@ class PlanExecutor:
             for r in results:
                 total.merge(r.stats)
             return PipelineResult(results, total, None)
+        do_coalesce = self.coalesce if coalesce is None else coalesce
 
         timeline = ExecutionTimeline(self.cluster.config.cost_model)
         cursors = [_PlanCursor(plan, i) for i, plan in enumerate(plans)]
-        while any(not c.done for c in cursors):
-            for cursor in cursors:
-                if cursor.done:
-                    continue
-                self._advance(cursor, clients, timeline)
+        scope: Optional[CoalesceScope] = None
+        if do_coalesce and len(plans) > 1:
+            scope = CoalesceScope(
+                self.cluster, self.cache, len(plans), self.apply_workers
+            )
+            while any(not c.done for c in cursors):
+                window = scope.begin_window()
+                for cursor in cursors:
+                    if cursor.done:
+                        continue
+                    stage = self._resolve_entry(cursor)
+                    if stage is not None:
+                        scope.admit_stage(window, cursor, stage)
+                scope.flush_window(window, clients, timeline)
+        else:
+            while any(not c.done for c in cursors):
+                for cursor in cursors:
+                    if cursor.done:
+                        continue
+                    self._advance(cursor, clients, timeline)
 
         total = FetchStats()
         for cursor in cursors:
@@ -188,7 +230,16 @@ class PlanExecutor:
         # per-plan attributions are signed and don't sum to the schedule-
         # level win; the aggregate reports the timeline's
         total.overlap_saved_ms = timeline.overlap_saved_ms
-        return PipelineResult([c.result for c in cursors], total, timeline)
+        report = None
+        if scope is not None:
+            # per-plan rounds count participation; the aggregate counts
+            # what actually hit the store (a merged round exactly once)
+            report = scope.report(len(plans))
+            total.rounds = scope.rounds_issued
+            total.merged_rounds = scope.merged_rounds
+        return PipelineResult(
+            [c.result for c in cursors], total, timeline, report
+        )
 
     def fetch(
         self,
@@ -203,18 +254,25 @@ class PlanExecutor:
         return self.execute(plan, clients=clients)
 
     # ------------------------------------------------------------------
-    def _advance(
-        self, cursor: _PlanCursor, clients: int, timeline: ExecutionTimeline
-    ) -> None:
-        """Resolve and run one entry of a pipelined plan."""
+    def _resolve_entry(self, cursor: _PlanCursor) -> Optional[FetchStage]:
+        """Resolve one plan entry (factories against the plan's own
+        values) and record it; ``None`` for a factory that declined."""
         entry = cursor.plan.stages[cursor.pos]
         cursor.pos += 1
         stage = entry if isinstance(entry, FetchStage) else entry(
             cursor.result.values
         )
+        if stage is not None:
+            cursor.result.stages.append(stage)
+        return stage
+
+    def _advance(
+        self, cursor: _PlanCursor, clients: int, timeline: ExecutionTimeline
+    ) -> None:
+        """Resolve and run one entry of a pipelined plan."""
+        stage = self._resolve_entry(cursor)
         if stage is None:
             return
-        cursor.result.stages.append(stage)
         # each in-flight plan gets its own client-id namespace: an async
         # driver does not queue one plan's requests behind another's on a
         # single synchronous fetcher (the shift never changes a round's

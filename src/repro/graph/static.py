@@ -252,7 +252,12 @@ class Graph:
         for ev in events:
             self.apply_event(ev, strict=strict)
 
-    def apply_columnar(self, eventlists: Any, until: Optional[TimePoint] = None) -> None:
+    def apply_columnar(
+        self,
+        eventlists: Any,
+        until: Optional[TimePoint] = None,
+        after: Optional[TimePoint] = None,
+    ) -> None:
         """Bulk-apply columnar eventlists in global ``(time, seq)`` order.
 
         ``eventlists`` is one ``ColumnarEventList`` or a sequence of them;
@@ -260,7 +265,9 @@ class Graph:
         endpoints' partitions) are deduplicated by seq.  Replays straight
         off the packed columns with the same lenient semantics as
         ``apply_event(strict=False)``, without materializing ``Event``
-        objects.
+        objects.  ``after`` skips events at or before that time — replay
+        covers ``(after, until]``, which is how a snapshot seeded from an
+        earlier materialized state advances over just the gap.
         """
         # imported lazily: repro.deltas.__init__ imports this module
         from repro.deltas.columnar import (
@@ -274,7 +281,7 @@ class Graph:
         cels = [el for el in eventlists if len(el)]
         if not cels:
             return
-        windows, order = merged_order(cels, until=until)
+        windows, order = merged_order(cels, until=until, after=after)
         nodes, adj, edge_attrs = self._nodes, self._adj, self._edge_attrs
         directed = self.directed
 

@@ -77,8 +77,17 @@ class TGIConfig:
             figure benches were re-validated against the overlapped cost
             model); build with ``--no-pipeline`` / ``pipeline=False`` to
             reproduce the strictly sequential per-center schedule.
+        coalesce: cross-query fetch coalescing for pipelined multi-plan
+            execution (batched sessions, TAF chunk fetches): keys
+            requested by several concurrent plans are fetched once
+            (single-flight dedup, reported as ``coalesced_hits``) and
+            same-window key groups merge into shared multiget rounds.
+            On by default; ``coalesce=False`` is the escape hatch that
+            reproduces the pre-coalescing request/round counts exactly.
+            Only engages when ``pipeline`` is on and more than one plan
+            is in flight.
         cluster: shape of the backing key-value cluster (``m``, ``r``,
-            compression, cost model).
+            compression, cost model, per-round request-size limit).
     """
 
     events_per_timespan: int = 4000
@@ -97,6 +106,7 @@ class TGIConfig:
     stats_buckets: int = 16
     apply_workers: int = 1
     pipeline: bool = True
+    coalesce: bool = True
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
 
     def __post_init__(self) -> None:

@@ -78,7 +78,13 @@ from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import CostModel, FetchStats
 from repro.partitioning.temporal import timespan_boundaries
 from repro.stats.calibrate import calibrate_apply_costs
-from repro.stats.model import GraphStatistics, prefer_near_seed
+from repro.stats.model import (
+    FRONTIER_MARGIN,
+    GraphStatistics,
+    expected_khop_pids,
+    prefer_near_seed,
+    prefer_snapshot_near_seed,
+)
 from repro.types import NodeId, TimePoint
 
 #: Checkpoint payload for a replayed partition: (node states, edge attrs).
@@ -143,6 +149,7 @@ class TGI(HistoricalGraphIndex):
             self.cluster,
             self.delta_cache,
             apply_workers=self.config.apply_workers,
+            coalesce=self.config.coalesce,
         )
         self.stats = GraphStatistics()
         self._vc = VersionChainStore(self.cluster, self.config.placement_groups)
@@ -151,6 +158,11 @@ class TGI(HistoricalGraphIndex):
         self._t_min: Optional[TimePoint] = None
         self._t_max: Optional[TimePoint] = None
         self._apply_pool = None  # lazy ThreadPoolExecutor (apply_workers > 1)
+        #: Learned occupancy corrections for the k-hop frontier model,
+        #: keyed by k: EWMA of observed/predicted touched-partition
+        #: ratios, folded into ``expected_khop_pids``' margin (fixes the
+        #: static margin's over-prediction on min-cut builds).
+        self._frontier_corrections: Dict[int, float] = {}
 
     def _pool(self):
         """The shared per-partition apply pool (created on first use)."""
@@ -171,6 +183,67 @@ class TGI(HistoricalGraphIndex):
         state = dict(self.__dict__)
         state["_apply_pool"] = None
         return state
+
+    # ------------------------------------------------------------------
+    # learned frontier-occupancy corrections
+    # ------------------------------------------------------------------
+    #: EWMA smoothing for the frontier corrections (same constant the
+    #: session uses for its per-algorithm cost corrections).
+    FRONTIER_EWMA_ALPHA = 0.3
+    #: Clip band for a correction: a few wild observations (tiny
+    #: neighborhoods, dead centers) must not zero out or explode the
+    #: margin for everyone.
+    FRONTIER_SCALE_MIN = 0.25
+    FRONTIER_SCALE_MAX = 4.0
+
+    def frontier_margin_scale(self, k: int) -> float:
+        """Learned multiplier on ``expected_khop_pids``' occupancy
+        margin for hop count ``k`` (1.0 until observations arrive)."""
+        return self._frontier_corrections.get(k, 1.0)
+
+    def _observe_frontier(self, k: int, predicted: int, actual: int) -> None:
+        """Fold one executed k-hop's touched-partition count back into
+        the learned margin: the correction moves toward the ratio of
+        actual to (already-corrected) predicted partitions, so repeated
+        over-prediction — the static margin's documented behavior on
+        min-cut builds — shrinks the margin toward what traversals
+        really touch."""
+        if predicted <= 0 or actual <= 0:
+            return
+        alpha = self.FRONTIER_EWMA_ALPHA
+        current = self._frontier_corrections.get(k, 1.0)
+        updated = current * ((1.0 - alpha) + alpha * (actual / predicted))
+        self._frontier_corrections[k] = min(
+            self.FRONTIER_SCALE_MAX, max(self.FRONTIER_SCALE_MIN, updated)
+        )
+
+    def _predicted_frontier_pids(
+        self, span: TimespanInfo, centers: Sequence[NodeId], k: int
+    ) -> int:
+        """What the (corrected) frontier model currently predicts the
+        traversal from ``centers`` will touch — 0 when the model does not
+        apply (no statistics, or boundary replication changes the fetch
+        shape).  Used purely as the reference for EWMA feedback."""
+        if self.config.replicate_boundary:
+            return 0
+        span_stats = self.stats.span(span.tsid)
+        if span_stats is None:
+            return 0
+        margin = FRONTIER_MARGIN * self.frontier_margin_scale(k)
+        predicted: Set[int] = set()
+        for center in centers:
+            pid0 = span.pid_of(center)
+            if pid0 is None:
+                continue
+            cand = {
+                pid for pid in span_stats.reachable_pids(pid0, k)
+                if pid < span.num_pids
+            }
+            est = expected_khop_pids(
+                span_stats, pid0, k, cand, margin=margin
+            )
+            predicted |= set(est.pids)
+        return len(predicted)
 
     # ------------------------------------------------------------------
     # construction + batch update
@@ -342,43 +415,174 @@ class TGI(HistoricalGraphIndex):
         return FetchStage(label, tuple(groups)), path_groups, ekeys
 
     def get_snapshot(self, t: TimePoint, clients: int = 1) -> Graph:
+        decoded0 = decoded_events_total()
+        plan, finalize, ckpt = self._snapshot_exec_plan(t)
+        result = self.executor.execute(plan, clients=clients)
+        g = finalize(result.values)
+        result.stats.checkpoint_hits += ckpt["hits"]
+        result.stats.checkpoint_misses += ckpt["misses"]
+        result.stats.checkpoint_near_hits += ckpt["near_hits"]
+        result.stats.decoded_events += decoded_events_total() - decoded0
+        self.last_fetch_stats = result.stats
+        return g
+
+    def _snapshot_exec_plan(
+        self, t: TimePoint
+    ) -> Tuple[
+        FetchPlan,
+        "Callable[[Dict[DeltaKey, object]], Graph]",
+        Dict[str, int],
+    ]:
+        """Build one snapshot query's plan plus a finalizer mapping the
+        executed values to the graph at ``t`` (same plan/finalize shape
+        as :meth:`_khops_plan`, so batched sessions can compose snapshot
+        queries with other plans in one pipelined execution).
+
+        Three plan forms, cheapest first: an exact whole-graph checkpoint
+        hit contributes an *empty* plan; a nearest-in-time checkpoint at
+        ``t0 < t`` — when the event-rate histograms price the gap replay
+        under a cold build — fetches only the global eventlist gap
+        ``(t0, t]`` and replays it forward (``checkpoints.near_hits``);
+        otherwise the full Algorithm-1 fetch runs cold."""
         span = self._span_at(t)
+        ckpt = {"hits": 0, "misses": 0, "near_hits": 0}
         if self.checkpoints is not None:
             cached = self.checkpoints.lookup(_snapshot_ckpt_key(span.tsid, t))
             if cached is not None:
-                stats = FetchStats(checkpoint_hits=1)
-                self.last_fetch_stats = stats
-                return cached
-        decoded0 = decoded_events_total()
+                ckpt["hits"] += 1
+                return FetchPlan(f"snapshot(t={t})"), lambda values: cached, ckpt
+            seed = self._capture_snapshot_near_seed(span, t)
+            if seed is not None:
+                g0, t0, gap_keys = seed
+                ckpt["near_hits"] += 1
+                plan = FetchPlan(f"snapshot(t={t})~seed(t0={t0})")
+                plan.add_stage(
+                    "snapshot-gap", KeyGroup("near-gap", tuple(gap_keys))
+                )
+
+                def finalize_near(values: Dict[DeltaKey, object]) -> Graph:
+                    elists = [values[key] for key in gap_keys]
+                    if all(isinstance(el, ColumnarEventList) for el in elists):
+                        g0.apply_columnar(elists, until=t, after=t0)
+                    else:
+                        g0.apply_events(dedup_sorted(
+                            ev for el in elists
+                            for ev in el if t0 < ev.time <= t
+                        ))
+                    self._admit_snapshot(span, t, g0)
+                    return g0
+
+                return plan, finalize_near, ckpt
+            ckpt["misses"] += 1
         plan = FetchPlan(f"snapshot(t={t})")
         stage, path_groups, ekeys = self._snapshot_stage(span, t, "snapshot")
         plan.stages.append(stage)
-        result = self.executor.execute(plan, clients=clients)
-        self.last_fetch_stats = result.stats
-        values = result.values
-        acc = Delta()
-        for group in path_groups:
-            for key in group:
-                acc = acc + values[key]
-        g = acc.to_graph()
-        elists = [values[key] for key in ekeys]
-        if all(isinstance(el, ColumnarEventList) for el in elists):
-            # bulk replay off the packed columns (dedups replicated
-            # copies by seq, bounds by time via bisection)
-            g.apply_columnar(elists, until=t)
-        else:
-            g.apply_events(dedup_sorted(
-                ev for el in elists for ev in el if ev.time <= t
-            ))
-        result.stats.decoded_events += decoded_events_total() - decoded0
+
+        def finalize_cold(values: Dict[DeltaKey, object]) -> Graph:
+            acc = Delta()
+            for group in path_groups:
+                for key in group:
+                    acc = acc + values[key]
+            g = acc.to_graph()
+            elists = [values[key] for key in ekeys]
+            if all(isinstance(el, ColumnarEventList) for el in elists):
+                # bulk replay off the packed columns (dedups replicated
+                # copies by seq, bounds by time via bisection)
+                g.apply_columnar(elists, until=t)
+            else:
+                g.apply_events(dedup_sorted(
+                    ev for el in elists for ev in el if ev.time <= t
+                ))
+            self._admit_snapshot(span, t, g)
+            return g
+
+        return plan, finalize_cold, ckpt
+
+    def _admit_snapshot(self, span: TimespanInfo, t: TimePoint, g: Graph) -> None:
+        """Checkpoint a materialized snapshot under its time series so
+        later queries can reuse it exactly or seed from it nearest-in-
+        time.  The cached graph is private (structural copy), as is every
+        graph a later hit returns — callers may mutate theirs."""
         if self.checkpoints is not None:
-            result.stats.checkpoint_misses += 1
-            # the cached graph is private (structural copy), as is every
-            # graph a later hit returns — callers may mutate theirs
             self.checkpoints.admit(
-                _snapshot_ckpt_key(span.tsid, t), g.copy(), Graph.copy
+                _snapshot_ckpt_key(span.tsid, t),
+                g.copy(),
+                Graph.copy,
+                series=("snapshot", span.tsid),
+                t=t,
             )
-        return g
+
+    def _snapshot_gap_keys(
+        self, span: TimespanInfo, t0: TimePoint, t: TimePoint
+    ) -> List[DeltaKey]:
+        """Eventlist keys carrying *any* partition's events in
+        ``(t0, t]`` — the whole-graph replay gap between a materialized
+        snapshot at ``t0`` and a query at ``t`` (the global analogue of
+        :meth:`_gap_eventlist_keys`)."""
+        ns = self.config.placement_groups
+        keys: List[DeltaKey] = []
+        for j, (ts_j, te_j) in enumerate(span.eventlist_ranges):
+            if te_j <= t0:
+                continue
+            if ts_j >= t:
+                break
+            for pid in span.eventlist_pids.get(j, []):
+                keys.append(
+                    delta_key(span.tsid, sid_of_pid(pid, ns),
+                              TAG_EVENTLIST, j, pid)
+                )
+        return keys
+
+    def _snapshot_near_seed_candidate(
+        self, span: TimespanInfo, t: TimePoint
+    ) -> Optional[Tuple[TimePoint, List[DeltaKey]]]:
+        """Whole-graph nearest-in-time seeding decision: the latest
+        materialized snapshot of this timespan at some ``t0 < t``, if the
+        event-rate histograms price its gap replay under the cold
+        Algorithm-1 build.  Returns ``(t0, gap_keys)`` when seeding wins,
+        else ``None``.  Non-perturbing (planner-safe): callers holding
+        the decision fetch the payload via ``lookup``."""
+        cp = self.checkpoints
+        if cp is None:
+            return None
+        found = cp.nearest(("snapshot", span.tsid), t)
+        if found is None:
+            return None
+        t0, _key0 = found
+        if t0 >= t:
+            # the exact-hit path handles t0 == t; never replay backward
+            return None
+        gap_keys = self._snapshot_gap_keys(span, t0, t)
+        path_groups, ekeys = self._snapshot_plan(span, t)
+        num_cold = sum(len(g) for g in path_groups) + len(ekeys)
+        if not prefer_snapshot_near_seed(
+            self.stats.span(span.tsid),
+            t0,
+            t,
+            num_cold,
+            len(gap_keys),
+            self.config.cluster.cost_model,
+            self.stats.calibration,
+            leaf_time=span.checkpoints[span.leaf_at(t)],
+        ):
+            return None
+        return t0, gap_keys
+
+    def _capture_snapshot_near_seed(
+        self, span: TimespanInfo, t: TimePoint
+    ) -> Optional[Tuple[Graph, TimePoint, List[DeltaKey]]]:
+        """Decide *and capture* a whole-graph near seed — the candidate
+        decision plus the checkpointed graph itself (cloned now, so a
+        later eviction cannot strand the caller).  Returns ``(private
+        graph copy at t0, t0, gap keys)`` or ``None``."""
+        seed = self._snapshot_near_seed_candidate(span, t)
+        if seed is None:
+            return None
+        t0, gap_keys = seed
+        g0 = self.checkpoints.lookup(_snapshot_ckpt_key(span.tsid, t0))
+        if g0 is None:
+            return None
+        return g0, t0, gap_keys
 
     # ------------------------------------------------------------------
     # partial-state loading (shared by node / k-hop retrieval)
@@ -1035,6 +1239,11 @@ class TGI(HistoricalGraphIndex):
             frontier = {n for n in nxt if merged.node_state(n) is not None}
         total.decoded_events += decoded_events_total() - decoded0
         self.last_fetch_stats = total
+        self._observe_frontier(
+            k,
+            self._predicted_frontier_pids(span, [node], k),
+            len(loaded_pids),
+        )
         return merged.to_graph(members)
 
     def get_khops(
@@ -1231,10 +1440,13 @@ class TGI(HistoricalGraphIndex):
         for _ in range(k):
             plan.add_factory(advance)
 
+        predicted = self._predicted_frontier_pids(span, alive0, k)
+
         def finalize(
             values: Dict[DeltaKey, object],
         ) -> List[Optional[Graph]]:
             settle(values)
+            self._observe_frontier(k, predicted, len(loaded))
             graphs = {
                 c: merged.to_graph(members[c]) for c in members
             }

@@ -21,7 +21,7 @@ from repro.errors import IndexError_
 from repro.index.tgi.index import _snapshot_ckpt_key, _state_key
 from repro.index.tgi.layout import DeltaKey, version_chain_key
 from repro.kvstore.cost import simulate_plan
-from repro.stats.model import expected_khop_pids
+from repro.stats.model import FRONTIER_MARGIN, expected_khop_pids
 from repro.types import NodeId, TimePoint
 
 
@@ -104,7 +104,8 @@ class QueryPlan:
 
 
 def price_plan(cluster, plan: Union[QueryPlan, Sequence[DeltaKey]],
-               clients: int = 1) -> float:
+               clients: int = 1,
+               shared_keys: Optional[Set[DeltaKey]] = None) -> float:
     """Cost-model estimate (sim-ms) of fetching a plan's keys in one
     sequential round, without reading any data.
 
@@ -123,8 +124,16 @@ def price_plan(cluster, plan: Union[QueryPlan, Sequence[DeltaKey]],
     Plans carrying a statistics-backed expected key set are priced on
     that set (the expected cost), not the sound worst-case bound — see
     :attr:`QueryPlan.expected_keys`.
+
+    ``shared_keys`` is the batched-execution shared-context discount:
+    keys an already-chosen concurrent plan will fetch anyway are priced
+    at zero, because coalesced execution fetches them exactly once — so
+    ``auto`` selection can anticipate the dedup when choosing per-request
+    algorithms for a multi-center batch.
     """
     keys = plan.pricing_keys() if isinstance(plan, QueryPlan) else list(plan)
+    if shared_keys:
+        keys = [key for key in keys if key not in shared_keys]
     records = cluster.plan_records(keys, clients=clients)
     model = cluster.config.cost_model
     estimate = simulate_plan(records, model)
@@ -184,6 +193,17 @@ class TGIPlanner:
         if cp is not None and cp.peek(_snapshot_ckpt_key(span.tsid, t)):
             plan.notes.append(
                 "materialized snapshot checkpoint is warm: no fetch"
+            )
+            return plan
+        seed = self.tgi._snapshot_near_seed_candidate(span, t)
+        if seed is not None:
+            t0, gap_keys = seed
+            plan.steps.append(
+                PlanStep("snapshot near-gap eventlists", tuple(gap_keys))
+            )
+            plan.notes.append(
+                f"snapshot near-seeded from materialized checkpoint at "
+                f"t0={t0}: gap replay ({t0}, {t}] only"
             )
             return plan
         path_groups, ekeys = self.tgi._snapshot_plan(span, t)
@@ -335,13 +355,20 @@ class TGIPlanner:
                 pid for pid in span_stats.reachable_pids(pid0, k)
                 if pid < span.num_pids
             }
-            est = expected_khop_pids(span_stats, pid0, k, pids)
+            scale = self.tgi.frontier_margin_scale(k)
+            est = expected_khop_pids(
+                span_stats, pid0, k, pids,
+                margin=FRONTIER_MARGIN * scale,
+            )
             expected_pids = set(est.pids)
-            plan.notes.append(
+            note = (
                 f"stats bound: expected {len(est.pids)}/{len(pids)} "
                 f"partitions (frontier model reaches "
                 f"~{est.reached_nodes:.0f} nodes)"
             )
+            if scale != 1.0:
+                note += f"; learned margin x{scale:.2f}"
+            plan.notes.append(note)
         else:
             # no statistics (pre-stats index object): the only safe bound
             # is every partition present in the span — the actual fetch

@@ -48,6 +48,12 @@ class ClusterConfig:
     decode (:mod:`repro.deltas.columnar`); ``"pickle"`` reproduces the
     paper prototype's pickle-everything behavior.  Non-eventlist rows
     (micro-deltas, version chains, pointers) always pickle.
+
+    ``max_request_keys`` bounds how many keys one multiget round may
+    carry (0 = unlimited).  Oversized rounds — typically merged rounds
+    produced by cross-query coalescing — are split into sequential
+    chunks, each planned and costed independently (scan contiguity does
+    not survive a split, matching a real store's per-request limits).
     """
 
     num_machines: int = 1
@@ -55,6 +61,7 @@ class ClusterConfig:
     compress: bool = False
     codec: str = "columnar"
     cost_model: CostModel = CostModel()
+    max_request_keys: int = 0
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -67,6 +74,10 @@ class ClusterConfig:
         if self.codec not in CODECS:
             raise StorageError(
                 f"unknown codec {self.codec!r} (expected one of {CODECS})"
+            )
+        if self.max_request_keys < 0:
+            raise StorageError(
+                "max_request_keys must be >= 0 (0 = unlimited)"
             )
 
 
@@ -308,17 +319,45 @@ class Cluster:
                 raise KeyNotFound(f"empty cluster has no key {keys[0]!r}")
             return {}, FetchStats()
 
-        records, encoded_rows = self._plan_requests(
-            keys, clients, client_offset
-        )
-        values = {
-            key: decode(encoded.payload)
-            for key, encoded in encoded_rows.items()
-        }
-        stats = FetchStats(requests=records, rounds=1 if keys else 0)
-        stats.sim_time_ms = simulate_plan(records, self.config.cost_model)
-        if timeline is not None and records:
-            timeline.submit(records, at=at)
+        limit = self.config.max_request_keys
+        if not limit or len(keys) <= limit:
+            records, encoded_rows = self._plan_requests(
+                keys, clients, client_offset
+            )
+            values = {
+                key: decode(encoded.payload)
+                for key, encoded in encoded_rows.items()
+            }
+            stats = FetchStats(requests=records, rounds=1 if keys else 0)
+            stats.sim_time_ms = simulate_plan(records, self.config.cost_model)
+            if timeline is not None and records:
+                timeline.submit(records, at=at)
+            return values, stats
+
+        # Oversized round: split into sequential chunks, each planned
+        # independently (contiguity resets at chunk boundaries — a real
+        # store re-seeks per request batch).  Per-chunk records keep
+        # attribution exact: every key's server/bytes/service time is
+        # costed within the chunk that actually carried it.
+        values = {}
+        stats = FetchStats()
+        release = at
+        for start in range(0, len(keys), limit):
+            chunk = keys[start:start + limit]
+            records, encoded_rows = self._plan_requests(
+                chunk, clients, client_offset
+            )
+            for key, encoded in encoded_rows.items():
+                values[key] = decode(encoded.payload)
+            chunk_ms = simulate_plan(records, self.config.cost_model)
+            stats.requests.extend(records)
+            stats.rounds += 1
+            stats.sim_time_ms += chunk_ms
+            if timeline is not None and records:
+                timing = timeline.submit(records, at=release)
+                release = timing.completed_ms
+            else:
+                release += chunk_ms
         return values, stats
 
     # ------------------------------------------------------------------

@@ -198,6 +198,15 @@ class FetchStats:
             on columnar fast paths — the bulk kernels replay packed
             columns without building events, so this counter is a direct
             measure of how often a query fell off the zero-decode path).
+        coalesced_hits: rows this fetch received from another in-flight
+            plan's request instead of issuing its own (single-flight
+            dedup under coalesced execution; distinct from cache hits —
+            the row *was* fetched this window, just only once).
+        coalesced_bytes_saved: stored bytes the single-flight table kept
+            off the wire for this fetch.
+        merged_rounds: multiget rounds this fetch shared with at least
+            one other plan (machine-level round merging); always
+            ``<= rounds``.
     """
 
     requests: List[RequestRecord] = field(default_factory=list)
@@ -212,6 +221,9 @@ class FetchStats:
     checkpoint_misses: int = 0
     checkpoint_near_hits: int = 0
     decoded_events: int = 0
+    coalesced_hits: int = 0
+    coalesced_bytes_saved: int = 0
+    merged_rounds: int = 0
 
     @property
     def num_requests(self) -> int:
@@ -239,6 +251,9 @@ class FetchStats:
         self.checkpoint_misses += other.checkpoint_misses
         self.checkpoint_near_hits += other.checkpoint_near_hits
         self.decoded_events += other.decoded_events
+        self.coalesced_hits += other.coalesced_hits
+        self.coalesced_bytes_saved += other.coalesced_bytes_saved
+        self.merged_rounds += other.merged_rounds
 
     def merge_concurrent(
         self, other: "FetchStats", completed_at_ms: float

@@ -43,7 +43,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.api import (
     ALGO_AUTO,
@@ -55,6 +65,7 @@ from repro.api import (
     QueryResult,
     QueryStats,
 )
+from repro.deltas.columnar import decoded_events_total
 from repro.errors import IndexError_, QueryError
 from repro.exec import (
     DeltaCache,
@@ -85,6 +96,24 @@ EWMA_ALPHA = 0.3
 #: touch fewer), while snapshot-first's estimate is exact — so a tie goes
 #: to the targeted plan.
 _TIE_ORDER = {ALGO_KHOP: 0, ALGO_PER_CENTER: 1, ALGO_SNAPSHOT_FIRST: 2}
+
+
+@dataclass
+class _BatchSpec:
+    """One batched request compiled for shared execution: its exec
+    plan(s), the per-plan finalizers, the checkpoint counters resolved at
+    plan-build time, and the recipe reassembling the finalized outputs
+    into the request's value shape."""
+
+    plans: List[Any]
+    finalizes: List[Callable[[Dict], Any]]
+    ckpts: List[Dict[str, int]]
+    assemble: Callable[[List[Any]], Any]
+    algorithm: str
+    predicted: Optional[float]
+    candidates: Dict[str, float]
+    #: index of this spec's first plan in the batch's shared plan list
+    first: int = 0
 
 
 def open_graph(
@@ -248,13 +277,21 @@ class GraphSession:
             # calls, TAF fetches, session queries — reads through the
             # shared cache
             tgi.delta_cache = self.cache
-            tgi.executor = PlanExecutor(tgi.cluster, self.cache)
+            tgi.executor = PlanExecutor(
+                tgi.cluster, self.cache,
+                apply_workers=tgi.config.apply_workers,
+                coalesce=tgi.config.coalesce,
+            )
         else:
             self.cache = None
             # an earlier session may have bound a cache to this index;
             # capacity 0 must really mean uncached accounting
             tgi.delta_cache = None
-            tgi.executor = PlanExecutor(tgi.cluster, None)
+            tgi.executor = PlanExecutor(
+                tgi.cluster, None,
+                apply_workers=tgi.config.apply_workers,
+                coalesce=tgi.config.coalesce,
+            )
         if ckpt_capacity > 0:
             if slot is not None:
                 self.checkpoint_cache = slot.checkpoints
@@ -384,19 +421,25 @@ class GraphSession:
     # request pricing
     # ------------------------------------------------------------------
     def _khop_candidates(
-        self, request: QueryRequest
+        self, request: QueryRequest,
+        shared_keys: Optional[Set] = None,
     ) -> Tuple[Dict[str, float], bool, Dict[str, List[str]]]:
         """Predicted sim-ms per candidate k-hop plan, whether the
         targeted bound could be planned at all (a single dead center
         can't — the caller then lets Algorithm 4 raise cleanly), and
         each candidate's planner notes (why a plan prices the way it
-        does: stats bounds, checkpoint seedings, warm snapshots)."""
+        does: stats bounds, checkpoint seedings, warm snapshots).
+
+        ``shared_keys`` is the batched-execution shared-context discount
+        (see :func:`~repro.index.tgi.planner.price_plan`): keys an
+        already-chosen concurrent plan will fetch anyway price at zero."""
         assert request.t is not None
         clients = request.clients
         snap_plan = self.planner.plan_snapshot(request.t)
         candidates: Dict[str, float] = {
             ALGO_SNAPSHOT_FIRST: price_plan(
                 self.tgi.cluster, snap_plan, clients=clients,
+                shared_keys=shared_keys,
             )
         }
         notes: Dict[str, List[str]] = {
@@ -413,7 +456,10 @@ class GraphSession:
             except IndexError_:
                 continue
             plannable = True
-            per_center += price_plan(self.tgi.cluster, sub, clients=clients)
+            per_center += price_plan(
+                self.tgi.cluster, sub, clients=clients,
+                shared_keys=shared_keys,
+            )
             if sub.expected_keys is not None:
                 khop_notes.append(
                     f"center {center}: expected "
@@ -433,14 +479,16 @@ class GraphSession:
             else:
                 # the shared frontier fetches the per-center union once
                 candidates[ALGO_KHOP] = price_plan(
-                    self.tgi.cluster, union_keys, clients=clients
+                    self.tgi.cluster, union_keys, clients=clients,
+                    shared_keys=shared_keys,
                 )
                 candidates[ALGO_PER_CENTER] = per_center
                 notes[ALGO_PER_CENTER] = list(khop_notes)
         return candidates, plannable, notes
 
     def _choose_khop(
-        self, request: QueryRequest
+        self, request: QueryRequest,
+        shared_keys: Optional[Set] = None,
     ) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, List[str]]]:
         """Resolve the algorithm for a k-hop request: forced choices pass
         through; ``auto`` takes the cheapest priced candidate (ties break
@@ -449,7 +497,9 @@ class GraphSession:
         Returns the choice, the corrected candidate prices (what callers
         report), the raw model prices (what the feedback loop compares
         actuals against), and each candidate's planner notes."""
-        raw, plannable, notes = self._khop_candidates(request)
+        raw, plannable, notes = self._khop_candidates(
+            request, shared_keys=shared_keys
+        )
         candidates = self._corrected(raw)
         if request.algorithm != ALGO_AUTO:
             chosen = request.algorithm
@@ -466,7 +516,10 @@ class GraphSession:
         )
         return chosen, candidates, raw, notes
 
-    def _predict(self, request: QueryRequest) -> Optional[float]:
+    def _predict(
+        self, request: QueryRequest,
+        shared_keys: Optional[Set] = None,
+    ) -> Optional[float]:
         """Predicted cost for the non-k-hop kinds (single candidate)."""
         try:
             if request.kind == "snapshot":
@@ -474,6 +527,7 @@ class GraphSession:
                     self.tgi.cluster,
                     self.planner.plan_snapshot(request.t),
                     clients=request.clients,
+                    shared_keys=shared_keys,
                 )
             if request.kind in ("node_histories", "node_state"):
                 ts = request.ts if request.kind == "node_histories" else request.t
@@ -482,6 +536,7 @@ class GraphSession:
                     self.tgi.cluster,
                     self.planner.plan_node_histories(request.nodes, ts, te),
                     clients=request.clients,
+                    shared_keys=shared_keys,
                 )
         except IndexError_:
             return None
@@ -498,6 +553,264 @@ class GraphSession:
             result = self._execute_simple(request)
         self.last_result = result
         return result
+
+    def batch(self, coalesce: Optional[bool] = None) -> "Batch":
+        """A deferred multi-query builder: the same fluent ``at`` /
+        ``between`` views queue requests instead of running them, and
+        :meth:`Batch.run` executes the whole set through one shared,
+        coalesced timeline (see :meth:`execute_batch`)."""
+        return Batch(self, coalesce=coalesce)
+
+    def execute_batch(
+        self,
+        requests: Sequence[QueryRequest],
+        coalesce: Optional[bool] = None,
+    ) -> List[QueryResult]:
+        """Price and run several requests through one shared execution.
+
+        Each request is priced and its algorithm chosen exactly as
+        :meth:`execute` would — except later requests see the
+        **shared-context discount**: keys an already-chosen concurrent
+        plan will fetch anyway price at zero, because coalesced execution
+        fetches them once.  All chosen plans then run through a single
+        ``execute_many`` with coalescing on: keys needed by several
+        requests are fetched once (single-flight dedup) and same-window
+        fetches to the store merge into one multiget round.
+
+        Returns one :class:`QueryResult` per request, in input order,
+        with values member-identical to a serial :meth:`execute` loop.
+        Each result's :class:`QueryStats` attributes shared work fairly:
+        a row fetched for ``n`` requests contributes ``1/n`` of a request
+        and ``stored_bytes/n`` bytes to each, so the per-request shares
+        sum exactly to the deduplicated totals; ``coalesced_hits`` /
+        ``merged_rounds`` surface how much sharing happened.
+
+        ``coalesce=False`` (or an index built with
+        ``TGIConfig(coalesce=False)``) is the escape hatch: the batch
+        degenerates to a serial ``execute`` loop with bit-identical
+        accounting.  ``khop_history`` requests (no composable plan form
+        yet) always run serially, before their results slot back into
+        input order.  The per-algorithm EWMA correction is *not* updated
+        from batched runs — coalesced actuals reflect shared work and
+        would mistrain the standalone predictions.
+        """
+        requests = list(requests)
+        do_coalesce = (
+            self.tgi.config.coalesce if coalesce is None else coalesce
+        )
+        if not do_coalesce or len(requests) < 2:
+            return [self.execute(request) for request in requests]
+        shared: Set = set()
+        specs: List[Optional[_BatchSpec]] = []
+        plans: List[Any] = []
+        for request in requests:
+            spec = self._plan_batched(request, shared)
+            if spec is not None:
+                spec.first = len(plans)
+                plans.extend(spec.plans)
+            specs.append(spec)
+        if len(plans) < 2:
+            # nothing to coalesce across (e.g. all-khop_history batch)
+            return [self.execute(request) for request in requests]
+        clients = max(request.clients for request in requests)
+        pipe = self.tgi.executor.execute_many(
+            plans, clients=clients, pipelined=True, coalesce=True
+        )
+        report = pipe.coalesce
+        out: List[QueryResult] = []
+        for request, spec in zip(requests, specs):
+            if spec is None:
+                out.append(self.execute(request))
+                continue
+            decoded0 = decoded_events_total()
+            finalized = [
+                finalize(pipe.results[spec.first + j].values)
+                for j, finalize in enumerate(spec.finalizes)
+            ]
+            value = spec.assemble(finalized)
+            decoded = decoded_events_total() - decoded0
+            span = range(spec.first, spec.first + len(spec.plans))
+            fetch = FetchStats()
+            completion = 0.0
+            for idx in span:
+                fetch.merge(pipe.results[idx].stats)
+                completion = max(
+                    completion, pipe.results[idx].stats.sim_time_ms
+                )
+            stats = QueryStats.from_fetch(
+                fetch,
+                algorithm=spec.algorithm,
+                predicted_ms=spec.predicted,
+                candidates=spec.candidates,
+            )
+            # the request completes when its last plan does on the shared
+            # timeline (merge() summed the per-plan completion instants)
+            stats.sim_time_ms = completion
+            if report is not None:
+                stats.requests = sum(
+                    report.fair_requests[idx] for idx in span
+                )
+                stats.bytes_read = sum(
+                    report.fair_bytes[idx] for idx in span
+                )
+            for ckpt in spec.ckpts:
+                stats.checkpoint_hits += ckpt["hits"]
+                stats.checkpoint_misses += ckpt["misses"]
+                stats.checkpoint_near_hits += ckpt["near_hits"]
+            stats.decoded_events += decoded
+            out.append(QueryResult(request, value, stats))
+        if out:
+            self.last_result = out[-1]
+        return out
+
+    def _plan_batched(
+        self, request: QueryRequest, shared: Set
+    ) -> Optional[_BatchSpec]:
+        """Compile one request into exec plan(s) plus a reassembly
+        recipe, pricing candidates with the shared-context discount and
+        folding the chosen plan's pricing keys into ``shared`` for the
+        batch members planned after it.  Returns ``None`` for kinds the
+        batched path cannot compose (``khop_history``)."""
+        tgi = self.tgi
+        if request.kind == "khop_history":
+            return None
+        if request.kind == "khop":
+            chosen, candidates, _raw, _notes = self._choose_khop(
+                request, shared_keys=shared
+            )
+            t, k = request.t, request.k
+            nodes = list(request.nodes)
+            if chosen == ALGO_SNAPSHOT_FIRST:
+                plan, fin, ckpt = tgi._snapshot_exec_plan(t)
+                plans, finalizes, ckpts = [plan], [fin], [ckpt]
+
+                def assemble(outs, nodes=nodes, single=request.single):
+                    g = outs[0]
+                    if single:
+                        if not g.has_node(nodes[0]):
+                            raise IndexError_(
+                                f"node {nodes[0]} not alive at t={t}"
+                            )
+                        return g.khop_subgraph(nodes[0], k)
+                    return [
+                        g.khop_subgraph(c, k) if g.has_node(c) else None
+                        for c in nodes
+                    ]
+            elif chosen == ALGO_PER_CENTER and not request.single:
+                # fetch each *distinct* center as its own plan (matching
+                # how the candidate was priced); coalescing dedups the
+                # partitions the neighborhoods share
+                plans, finalizes, ckpts = [], [], []
+                order = list(dict.fromkeys(nodes))
+                for center in order:
+                    plan, fin, ckpt = tgi._khops_plan([center], t, k)
+                    plans.append(plan)
+                    finalizes.append(fin)
+                    ckpts.append(ckpt)
+
+                def assemble(outs, order=order, nodes=nodes):
+                    graphs = {c: outs[i][0] for i, c in enumerate(order)}
+                    return [graphs[c] for c in nodes]
+            else:  # shared-frontier Algorithm 4 (or a forced per-center
+                #    on a single center, which is the same loop)
+                chosen = ALGO_KHOP
+                plan, fin, ckpt = tgi._khops_plan(nodes, t, k)
+                plans, finalizes, ckpts = [plan], [fin], [ckpt]
+
+                def assemble(outs, nodes=nodes, single=request.single):
+                    if not single:
+                        return outs[0]
+                    g = outs[0][0]
+                    if g is None:
+                        raise IndexError_(
+                            f"node {nodes[0]} not alive at t={t}"
+                        )
+                    return g
+
+            shared.update(self._shared_pricing_keys(request, chosen))
+            return _BatchSpec(
+                plans=plans, finalizes=finalizes, ckpts=ckpts,
+                assemble=assemble, algorithm=chosen,
+                predicted=candidates.get(chosen), candidates=candidates,
+            )
+        predicted_raw = self._predict(request, shared_keys=shared)
+        if request.kind == "snapshot":
+            algorithm = "snapshot"
+            plan, fin, ckpt = tgi._snapshot_exec_plan(request.t)
+
+            def assemble(outs):
+                return outs[0]
+        else:  # node_histories / node_state
+            algorithm = (
+                "batched-histories" if request.kind == "node_histories"
+                else "micro-delta"
+            )
+            ts = request.ts if request.kind == "node_histories" else request.t
+            te = request.te if request.kind == "node_histories" else request.t
+            plan, fin, ckpt = tgi._node_histories_plan(
+                list(request.nodes), ts, te
+            )
+            if request.kind == "node_state":
+                def assemble(outs):
+                    return outs[0][0].initial
+            elif request.single:
+                def assemble(outs):
+                    return outs[0][0]
+            else:
+                def assemble(outs):
+                    return outs[0]
+        predicted = (
+            predicted_raw * self._correction.get(algorithm, 1.0)
+            if predicted_raw is not None
+            else None
+        )
+        shared.update(self._shared_pricing_keys(request, algorithm))
+        return _BatchSpec(
+            plans=[plan], finalizes=[fin], ckpts=[ckpt],
+            assemble=assemble, algorithm=algorithm, predicted=predicted,
+            candidates=(
+                {algorithm: predicted} if predicted is not None else {}
+            ),
+        )
+
+    def _shared_pricing_keys(
+        self, request: QueryRequest, chosen: str
+    ) -> Set:
+        """The keys a chosen plan will fetch, as later batch members
+        should discount them when pricing their own candidates."""
+        try:
+            if request.kind == "snapshot" or chosen == ALGO_SNAPSHOT_FIRST:
+                return set(
+                    self.planner.plan_snapshot(request.t).pricing_keys()
+                )
+            if request.kind in ("node_histories", "node_state"):
+                ts = (
+                    request.ts if request.kind == "node_histories"
+                    else request.t
+                )
+                te = (
+                    request.te if request.kind == "node_histories"
+                    else request.t
+                )
+                return set(
+                    self.planner.plan_node_histories(
+                        request.nodes, ts, te
+                    ).pricing_keys()
+                )
+            if request.kind == "khop":
+                keys: Set = set()
+                for center in dict.fromkeys(request.nodes):
+                    try:
+                        sub = self.planner.plan_khop(
+                            center, request.t, k=request.k
+                        )
+                    except IndexError_:
+                        continue
+                    keys.update(sub.pricing_keys())
+                return keys
+        except IndexError_:
+            pass
+        return set()
 
     def _execute_simple(self, request: QueryRequest) -> QueryResult:
         tgi = self.tgi
@@ -710,9 +1023,11 @@ class GraphSession:
 class TimeView:
     """Queries anchored at one time point (``session.at(t)``); terminal
     methods compile a :class:`QueryRequest` and execute it — nothing is
-    planned or fetched until then."""
+    planned or fetched until then.  Bound to a :class:`Batch` instead of
+    a session, the terminals queue the request and return its position
+    in the batch."""
 
-    session: GraphSession
+    session: Union[GraphSession, "Batch"]
     t: TimePoint
 
     def _clients(self, clients: Optional[int]) -> int:
@@ -761,9 +1076,10 @@ class TimeView:
 
 @dataclass(frozen=True)
 class RangeView:
-    """Interval queries (``session.between(ts, te)``)."""
+    """Interval queries (``session.between(ts, te)``); bound to a
+    :class:`Batch`, the terminals queue instead of executing."""
 
-    session: GraphSession
+    session: Union[GraphSession, "Batch"]
     ts: TimePoint
     te: TimePoint
 
@@ -805,4 +1121,70 @@ class RangeView:
         """A pre-bound lazy SoTS already timesliced to ``[ts, te]``."""
         return self.session.subgraphs(k, predicate).Timeslice(
             self.ts, self.te
+        )
+
+
+class Batch:
+    """Deferred multi-query builder (``session.batch()``).
+
+    Duck-types the slice of the session interface the fluent views use
+    (``execute`` and ``clients``), so the same :class:`TimeView` /
+    :class:`RangeView` terminals *queue* compiled requests instead of
+    running them — each terminal returns the request's position in the
+    batch, which indexes the :meth:`run` result list::
+
+        batch = open_graph("wiki.hgs").batch()
+        i = batch.at(900).khop(17, k=2)       # queued, returns 0
+        j = batch.at(900).snapshot()          # queued, returns 1
+        results = batch.run()                 # one shared coalesced
+        hood = results[i].value               # execution for all of them
+
+    ``run`` hands the queue to :meth:`GraphSession.execute_batch`; the
+    batch stays reusable afterwards (``requests`` keeps the queue —
+    ``clear`` resets it).
+    """
+
+    def __init__(
+        self, session: GraphSession, coalesce: Optional[bool] = None
+    ) -> None:
+        self.session = session
+        self.clients = session.clients
+        self.coalesce = coalesce
+        self.requests: List[QueryRequest] = []
+
+    def at(self, t: TimePoint) -> TimeView:
+        """Queue point-in-time queries (terminals return queue positions)."""
+        return TimeView(self, t)
+
+    def between(self, ts: TimePoint, te: TimePoint) -> RangeView:
+        """Queue interval queries (terminals return queue positions)."""
+        if te < ts:
+            raise QueryError(f"empty interval [{ts}, {te}]")
+        return RangeView(self, ts, te)
+
+    def add(self, request: QueryRequest) -> "Batch":
+        """Queue an already-compiled request; chains."""
+        self.requests.append(request)
+        return self
+
+    def execute(self, request: QueryRequest) -> int:
+        """View-terminal hook: queue the compiled request and return its
+        position in the batch (not a result — ``run`` produces those)."""
+        self.requests.append(request)
+        return len(self.requests) - 1
+
+    def clear(self) -> "Batch":
+        """Drop the queued requests; chains."""
+        self.requests = []
+        return self
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def run(self) -> List[QueryResult]:
+        """Execute every queued request through one shared, coalesced
+        timeline; returns one :class:`QueryResult` per request, in queue
+        order."""
+        return self.session.execute_batch(
+            self.requests, coalesce=self.coalesce
         )

@@ -336,3 +336,41 @@ def prefer_near_seed(
     ) + span.events_between(pid, cold_from, t)
     cold_cost = num_cold_keys * per_key + cold_items * replay_ms
     return near_cost < cold_cost
+
+
+def prefer_snapshot_near_seed(
+    span: Optional[TimespanStats],
+    t0: TimePoint,
+    t: TimePoint,
+    num_cold_keys: int,
+    num_gap_keys: int,
+    model,
+    calibration: Optional[ApplyCalibration] = None,
+    leaf_time: Optional[TimePoint] = None,
+) -> bool:
+    """Whether forward-replaying a *whole-graph* snapshot from a
+    materialized checkpoint at ``t0`` beats a cold snapshot build at
+    ``t`` — :func:`prefer_near_seed` summed over every partition, since
+    a snapshot touches them all.  Without statistics the decision
+    degrades to comparing fetch key counts, exactly like the
+    per-partition version."""
+    per_key = model.seek_ms + model.rtt_ms
+    replay_ms = getattr(model, "replay_per_item_ms", 0.0)
+    if replay_ms <= 0.0:
+        replay_ms = (
+            calibration.replay_per_item_ms
+            if calibration is not None and calibration.replay_per_item_ms > 0
+            else _FALLBACK_REPLAY_MS
+        )
+    if span is None:
+        return num_gap_keys < num_cold_keys
+    cold_from = leaf_time if leaf_time is not None else span.t_start - 1
+    gap_events = 0
+    cold_items = 0
+    for pid, part in span.partitions.items():
+        gap_events += span.events_between(pid, t0, t)
+        cold_items += part.nodes + part.internal_edges + part.cut_edges
+        cold_items += span.events_between(pid, cold_from, t)
+    near_cost = num_gap_keys * per_key + gap_events * replay_ms
+    cold_cost = num_cold_keys * per_key + cold_items * replay_ms
+    return near_cost < cold_cost

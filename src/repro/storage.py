@@ -38,7 +38,11 @@ _MAGIC = "hgs-index"
 # TGIConfig the `apply_workers` lane count; version-5 files pickle-load
 # but would decode columnar payloads written by a re-save incorrectly
 # and fail on config access during parallel replay
-_FORMAT_VERSION = 6
+# 7: TGIConfig carries the `coalesce` flag (cross-query fetch
+# coalescing: single-flight key dedup + merged multiget rounds for
+# batched execution); version-6 files would fail on config access when
+# the session wires the executor's coalescing default
+_FORMAT_VERSION = 7
 
 
 class PersistenceError(HGSError):

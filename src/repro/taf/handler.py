@@ -63,6 +63,9 @@ class ParallelFetchStats:
     checkpoint_misses: int = 0
     checkpoint_near_hits: int = 0
     decoded_events: int = 0
+    coalesced_hits: int = 0
+    coalesced_bytes_saved: int = 0
+    merged_rounds: int = 0
     pipelined_ms: Optional[float] = None
 
     @property
@@ -85,6 +88,9 @@ class ParallelFetchStats:
         self.checkpoint_misses += fetch.checkpoint_misses
         self.checkpoint_near_hits += fetch.checkpoint_near_hits
         self.decoded_events += fetch.decoded_events
+        self.coalesced_hits += fetch.coalesced_hits
+        self.coalesced_bytes_saved += fetch.coalesced_bytes_saved
+        self.merged_rounds += fetch.merged_rounds
 
 
 class TGIHandler:

@@ -361,12 +361,17 @@ def test_khop_dead_node_resets_stats(tgi, events):
 @pytest.fixture(scope="module")
 def handlers(events):
     # pipeline is on by default; the sequential side of the comparison
-    # must pin it off explicitly
+    # must pin it off explicitly.  Coalescing (also on by default) is
+    # pinned off on both sides: these tests isolate the overlap effect
+    # of pipelining alone — coalesced execution merges rounds outright,
+    # which tests/test_coalesce.py covers
     seq = TGIHandler(
-        make_tgi(events, pipeline=False), SparkContext(num_workers=2)
+        make_tgi(events, pipeline=False, coalesce=False),
+        SparkContext(num_workers=2),
     )
     pipe = TGIHandler(
-        make_tgi(events, pipeline=True), SparkContext(num_workers=2)
+        make_tgi(events, pipeline=True, coalesce=False),
+        SparkContext(num_workers=2),
     )
     return seq, pipe
 

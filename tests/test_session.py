@@ -28,7 +28,9 @@ def dataset1_events():
 
 
 def build_tgi(events, m=4, ps=32, l=150, span=1200, replicate=False,
-              pipeline=False, cache_entries=0):
+              pipeline=False, cache_entries=0, coalesce=False):
+    # coalesce defaults off here: these tests pin the pre-coalescing
+    # schedules (tests/test_coalesce.py covers coalesced execution)
     tgi = TGI(TGIConfig(
         events_per_timespan=span,
         eventlist_size=l,
@@ -36,6 +38,7 @@ def build_tgi(events, m=4, ps=32, l=150, span=1200, replicate=False,
         replicate_boundary=replicate,
         pipeline=pipeline,
         delta_cache_entries=cache_entries,
+        coalesce=coalesce,
         cluster=ClusterConfig(num_machines=m),
     ))
     tgi.build(events)
