@@ -35,6 +35,23 @@ from repro.api.request import (
     QueryRequest,
 )
 from repro.api.result import QueryResult, QueryStats
+from repro.api.wire import (
+    BadRequest,
+    DeadlineExceeded,
+    Draining,
+    NotFound,
+    Overloaded,
+    RateLimited,
+    ServiceError,
+    Unauthorized,
+    error_from_payload,
+    error_payload,
+    graph_summary,
+    request_from_spec,
+    result_payload,
+    spec_from_request,
+    versions_summary,
+)
 
 __all__ = [
     "ALGO_AUTO",
@@ -45,4 +62,19 @@ __all__ = [
     "QueryRequest",
     "QueryResult",
     "QueryStats",
+    "BadRequest",
+    "DeadlineExceeded",
+    "Draining",
+    "NotFound",
+    "Overloaded",
+    "RateLimited",
+    "ServiceError",
+    "Unauthorized",
+    "error_from_payload",
+    "error_payload",
+    "graph_summary",
+    "request_from_spec",
+    "result_payload",
+    "spec_from_request",
+    "versions_summary",
 ]

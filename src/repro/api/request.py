@@ -54,6 +54,13 @@ class QueryRequest:
         clients: parallel fetch clients for the store rounds.
         single: the builder took a scalar subject, so the payload is the
             bare value rather than a list (``khop(5)`` vs ``khop([5, 7])``).
+        deadline_ms: optional wall-clock budget for the whole request,
+            measured from when the execution path first sees it (for
+            served requests: from HTTP admission, so time queued in a
+            batching window counts).  An expired request stops between
+            executor stages and surfaces as a structured
+            :class:`~repro.api.wire.DeadlineExceeded` instead of a
+            partial result.  ``None`` (the default) means no deadline.
     """
 
     kind: str
@@ -65,6 +72,7 @@ class QueryRequest:
     algorithm: str = ALGO_AUTO
     clients: int = 1
     single: bool = False
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:
@@ -78,6 +86,8 @@ class QueryRequest:
             raise QueryError("neighborhood radius k must be >= 1")
         if self.clients < 1:
             raise QueryError("need at least one fetch client")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise QueryError("deadline_ms must be positive when set")
 
     def describe(self) -> str:
         """One-line summary used by EXPLAIN output and reprs."""

@@ -180,13 +180,37 @@ class QueryStats:
 
 @dataclass
 class QueryResult:
-    """Payload plus accounting for one executed :class:`QueryRequest`."""
+    """Payload plus accounting for one executed :class:`QueryRequest`.
+
+    ``error`` is only ever set by fault-isolating batch execution
+    (``execute_batch(..., capture_errors=True)``, which the query
+    service uses so one bad request cannot kill a whole batching
+    window): the exception that felled this request, with ``value``
+    ``None``.  :meth:`raise_for_error` restores raise-on-access
+    semantics for callers that want them.
+    """
 
     request: QueryRequest
     value: Any
     stats: QueryStats
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def raise_for_error(self) -> "QueryResult":
+        """Re-raise a captured per-request failure; chains when ok."""
+        if self.error is not None:
+            raise self.error
+        return self
 
     def __repr__(self) -> str:
+        if self.error is not None:
+            return (
+                f"<QueryResult {self.request.describe()} "
+                f"error={type(self.error).__name__}: {self.error}>"
+            )
         return (
             f"<QueryResult {self.request.describe()} "
             f"requests={self.stats.requests} "

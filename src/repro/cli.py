@@ -7,6 +7,8 @@ Subcommands::
     hgs build     — build a TGI over an event file and save it
     hgs query     — run snapshot / node-history / k-hop queries against a
                     saved index
+    hgs serve     — long-running HTTP query service with micro-batching,
+                    admission control, and graceful drain
     hgs inspect   — summarize an event file or a saved index
 
 Run ``python -m repro.cli --help`` (or ``hgs --help`` once installed).
@@ -21,7 +23,17 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro import __version__
-from repro.api import ALGO_AUTO, ALGO_KHOP, ALGO_SNAPSHOT_FIRST, QueryRequest, QueryStats
+from repro.api import (
+    ALGO_AUTO,
+    ALGO_KHOP,
+    ALGO_SNAPSHOT_FIRST,
+    QueryRequest,
+    QueryStats,
+    graph_summary,
+    request_from_spec,
+    result_payload,
+    versions_summary,
+)
 from repro.graph.static import Graph
 from repro.index.tgi import TGI, PartitioningStrategy, TGIConfig
 from repro.io import read_events, write_events
@@ -157,6 +169,47 @@ def _build_parser() -> argparse.ArgumentParser:
     qhop.add_argument("time", type=int)
     qhop.add_argument("-k", type=int, default=1)
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a saved index over HTTP with micro-batched execution",
+    )
+    serve.add_argument("--index", required=True,
+                       help="index file from `hgs build`")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 = pick a free port; the bound "
+                       "port is printed on startup)")
+    serve.add_argument("--batch-window-ms", type=float, default=10.0,
+                       help="micro-batching window: in-flight requests "
+                       "accumulate this long (or until --max-batch) and "
+                       "execute as one coalesced batch, so overlapping "
+                       "queries from independent callers share store "
+                       "fetches")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="flush the window early at this many requests")
+    serve.add_argument("--workers", type=int, default=1,
+                       help="executor threads running batches (1 also "
+                       "serializes session-state updates)")
+    serve.add_argument("--rate-limit", type=float, default=None,
+                       help="per-caller token-bucket rate in requests/s "
+                       "(429 + Retry-After beyond it; default unlimited)")
+    serve.add_argument("--burst", type=float, default=None,
+                       help="token-bucket burst capacity (default: "
+                       "max(1, rate))")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="load-shed with 503 when this many admitted "
+                       "requests are pending")
+    serve.add_argument("--deadline-ms", type=float, default=None,
+                       help="default per-request deadline budget, counted "
+                       "from admission (504 on expiry; specs may "
+                       "override via \"deadline_ms\")")
+    serve.add_argument("--auth-token", default=None,
+                       help="require `Authorization: Bearer <token>` on "
+                       "every route except /healthz")
+    serve.add_argument("--access-log", default=None, metavar="PATH",
+                       help="structured JSON access log, one line per "
+                       "request ('-' = stderr)")
+
     inspect = sub.add_parser("inspect", help="summarize an event/index file")
     inspect.add_argument("path")
     inspect.add_argument(
@@ -229,8 +282,12 @@ def _cmd_build(args: argparse.Namespace) -> int:
     return 0
 
 
-def _graph_summary(g: Graph) -> dict:
-    return {"nodes": g.num_nodes, "edges": g.num_edges}
+# kind-specific JSON rendering now lives in repro.api.wire, shared with
+# the HTTP service so `--batch` files replay against `hgs serve` with
+# identical payload keys
+_graph_summary = graph_summary
+_versions_summary = versions_summary
+_result_payload = result_payload
 
 
 def _request_for(args: argparse.Namespace) -> QueryRequest:
@@ -245,38 +302,9 @@ def _request_for(args: argparse.Namespace) -> QueryRequest:
                         k=args.k, algorithm=args.algorithm, single=True)
 
 
-def _request_from_spec(spec: dict, default_algorithm: str) -> QueryRequest:
-    """Compile one ``--batch`` JSON-lines spec into a session request.
-
-    Specs mirror the query subcommands: ``{"kind": "snapshot", "time":
-    t}``, ``{"kind": "node", "node": n, "ts": a, "te": b}``, ``{"kind":
-    "khop", "node": n, "time": t, "k": k}`` (``"nodes": [...]`` batches
-    several k-hop centers in one request).  ``clients`` and
-    ``algorithm`` are optional per-spec overrides."""
-    kind = spec.get("kind")
-    clients = int(spec.get("clients", 1))
-    if kind == "snapshot":
-        return QueryRequest(kind="snapshot", t=spec["time"],
-                            clients=clients)
-    if kind == "node":
-        return QueryRequest(kind="node_histories", ts=spec["ts"],
-                            te=spec["te"], nodes=(spec["node"],),
-                            clients=clients, single=True)
-    if kind == "khop":
-        if "nodes" in spec:
-            nodes, single = tuple(spec["nodes"]), False
-        else:
-            nodes, single = (spec["node"],), True
-        return QueryRequest(
-            kind="khop", t=spec["time"], nodes=nodes,
-            k=int(spec.get("k", 1)),
-            algorithm=spec.get("algorithm", default_algorithm),
-            clients=clients, single=single,
-        )
-    raise ValueError(
-        f"unknown batch request kind {kind!r} "
-        "(expected snapshot, node, or khop)"
-    )
+# spec parsing is shared with the HTTP service (see repro.api.wire);
+# malformed specs raise the structured BadRequest either way
+_request_from_spec = request_from_spec
 
 
 def _batch_specs(path: str) -> List[dict]:
@@ -293,41 +321,6 @@ def _batch_specs(path: str) -> List[dict]:
             continue
         specs.append(json.loads(line))
     return specs
-
-
-def _versions_summary(history) -> list:
-    return [
-        {"t": t, "alive": s is not None,
-         "degree": len(s.E) if s else 0,
-         "attrs": s.attrs if s else None}
-        for t, s in history.versions()
-    ]
-
-
-def _result_payload(request: QueryRequest, result) -> dict:
-    """The kind-specific half of one query's JSON output."""
-    if request.kind == "snapshot":
-        return {"snapshot": _graph_summary(result.value)}
-    if request.kind == "node_histories":
-        return {
-            "node": request.nodes[0],
-            "versions": _versions_summary(result.value),
-        }
-    if request.single:
-        return {
-            "center": request.nodes[0],
-            "k": request.k,
-            "neighborhood": _graph_summary(result.value),
-            "members": sorted(result.value.nodes()),
-        }
-    return {
-        "centers": list(request.nodes),
-        "k": request.k,
-        "neighborhoods": [
-            _graph_summary(g) if g is not None else None
-            for g in result.value
-        ],
-    }
 
 
 def _cmd_query_batch(session: GraphSession,
@@ -425,6 +418,42 @@ def _cmd_query_legacy(index, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the asyncio query service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+
+    from repro.service import AccessLogger, QueryService
+    from repro.service import serve as serve_until_signalled
+
+    index = load_index(args.index)
+    if not isinstance(index, TGI):
+        print(f"hgs serve supports TGI indexes (got {type(index).__name__})",
+              file=sys.stderr)
+        return 1
+    session = GraphSession.from_index(
+        index, index_id=str(Path(args.index).expanduser().resolve())
+    )
+    access = AccessLogger(args.access_log) if args.access_log else None
+    service = QueryService(
+        session,
+        window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        rate=args.rate_limit,
+        burst=args.burst,
+        max_pending=args.queue_depth,
+        default_deadline_ms=args.deadline_ms,
+        auth_token=args.auth_token,
+        access_log=access,
+    )
+    try:
+        asyncio.run(serve_until_signalled(service, args.host, args.port))
+    finally:
+        if access is not None:
+            access.close()
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     kind = args.kind
     if kind == "auto":
@@ -491,6 +520,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate": _cmd_generate,
         "build": _cmd_build,
         "query": _cmd_query,
+        "serve": _cmd_serve,
         "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)

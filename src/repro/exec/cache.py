@@ -30,10 +30,21 @@ Three reuse levels, cheapest miss first:
   immediately, or — when the registry is built with a TTL — kept warm for
   that long so short-lived consumers in a long-running service still hit
   each other's rows.
+
+All three are **thread-safe**: the query service executes overlapping
+batching windows on a thread pool over one shared index, so lookups,
+admissions, LRU promotion/eviction, and refcount updates all mutate
+under a per-object re-entrant lock.  (OrderedDict promotion and the
+``refs`` counter are not atomic under concurrent writers; without the
+locks two windows can corrupt the LRU linkage or leak/over-free a
+slot.)  The locks never pickle — ``save_index`` serializes whole
+indexes including bound caches, so ``__getstate__`` drops them and
+``__setstate__`` rebuilds fresh ones.
 """
 
 from __future__ import annotations
 
+import threading
 import time as _time
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -114,6 +125,7 @@ class DeltaCache:
             )
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        self._lock = threading.RLock()
         self._rows: "OrderedDict[KeyTuple, CachedRow]" = OrderedDict()
         self.bytes_cached = 0
         self.hits = 0
@@ -132,39 +144,41 @@ class DeltaCache:
         return key in self._rows
 
     def lookup(self, key: KeyTuple) -> Optional[CachedRow]:
-        row = self._rows.get(key)
-        if row is None:
-            self.misses += 1
-            return None
-        self._rows.move_to_end(key)
-        self.hits += 1
-        self.bytes_saved += row.stored_bytes
-        return row
+        with self._lock:
+            row = self._rows.get(key)
+            if row is None:
+                self.misses += 1
+                return None
+            self._rows.move_to_end(key)
+            self.hits += 1
+            self.bytes_saved += row.stored_bytes
+            return row
 
     def admit(
         self, key: KeyTuple, value: Any, stored_bytes: int, raw_bytes: int
     ) -> None:
-        if (
-            self.max_bytes
-            and stored_bytes > self.max_bytes * MAX_ROW_BUDGET_FRACTION
-        ):
-            # size-aware admission: this one row would push out too much
-            # of the working set to be worth caching
-            self.rejected += 1
-            self.invalidate(key)
-            return
-        old = self._rows.get(key)
-        if old is not None:
-            self.bytes_cached -= old.stored_bytes
-            self._rows.move_to_end(key)
-        self._rows[key] = CachedRow(
-            value, stored_bytes, raw_bytes, self.generation
-        )
-        self.bytes_cached += stored_bytes
-        while self._over_budget():
-            _k, evicted = self._rows.popitem(last=False)
-            self.bytes_cached -= evicted.stored_bytes
-            self.evictions += 1
+        with self._lock:
+            if (
+                self.max_bytes
+                and stored_bytes > self.max_bytes * MAX_ROW_BUDGET_FRACTION
+            ):
+                # size-aware admission: this one row would push out too
+                # much of the working set to be worth caching
+                self.rejected += 1
+                self.invalidate(key)
+                return
+            old = self._rows.get(key)
+            if old is not None:
+                self.bytes_cached -= old.stored_bytes
+                self._rows.move_to_end(key)
+            self._rows[key] = CachedRow(
+                value, stored_bytes, raw_bytes, self.generation
+            )
+            self.bytes_cached += stored_bytes
+            while self._over_budget():
+                _k, evicted = self._rows.popitem(last=False)
+                self.bytes_cached -= evicted.stored_bytes
+                self.evictions += 1
 
     def _over_budget(self) -> bool:
         if self.max_entries and len(self._rows) > self.max_entries:
@@ -172,10 +186,11 @@ class DeltaCache:
         return bool(self.max_bytes) and self.bytes_cached > self.max_bytes
 
     def invalidate(self, key: KeyTuple) -> None:
-        row = self._rows.pop(key, None)
-        if row is not None:
-            self.bytes_cached -= row.stored_bytes
-            self.invalidations += 1
+        with self._lock:
+            row = self._rows.pop(key, None)
+            if row is not None:
+                self.bytes_cached -= row.stored_bytes
+                self.invalidations += 1
 
     def invalidate_many(self, keys) -> int:
         """Targeted invalidation: drop exactly ``keys`` (counted in
@@ -183,37 +198,52 @@ class DeltaCache:
         selective alternative to :meth:`clear` for batch updates, where
         only the rewritten version-chain rows change content."""
         dropped = 0
-        for key in keys:
-            if key in self._rows:
-                self.invalidate(key)
-                dropped += 1
+        with self._lock:
+            for key in keys:
+                if key in self._rows:
+                    self.invalidate(key)
+                    dropped += 1
         return dropped
 
     def bump_generation(self) -> int:
         """Start a new admission epoch (called by the index on every
         batch update); rows admitted from now on carry the new stamp."""
-        self.generation += 1
-        return self.generation
+        with self._lock:
+            self.generation += 1
+            return self.generation
 
     def clear(self) -> None:
         """Drop all entries (counters are retained)."""
-        self._rows.clear()
-        self.bytes_cached = 0
+        with self._lock:
+            self._rows.clear()
+            self.bytes_cached = 0
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            bytes_saved=self.bytes_saved,
-            entries=len(self._rows),
-            max_entries=self.max_entries,
-            bytes_cached=self.bytes_cached,
-            max_bytes=self.max_bytes,
-            rejected=self.rejected,
-            invalidations=self.invalidations,
-            generation=self.generation,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                bytes_saved=self.bytes_saved,
+                entries=len(self._rows),
+                max_entries=self.max_entries,
+                bytes_cached=self.bytes_cached,
+                max_bytes=self.max_bytes,
+                rejected=self.rejected,
+                invalidations=self.invalidations,
+                generation=self.generation,
+            )
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # locks don't pickle (save_index serializes indexes with bound
+        # caches); the deserialized cache gets a fresh one
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -305,6 +335,7 @@ class StateCheckpointCache:
             )
         self.max_entries = max_entries
         self.admission = admission
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[KeyTuple, _CheckpointEntry]" = (
             OrderedDict()
         )
@@ -336,22 +367,27 @@ class StateCheckpointCache:
         copy-on-read payload."""
         import bisect
 
-        entries = self._series.get(series)
-        if not entries:
-            return None
-        pos = bisect.bisect_right(entries, (t, _SERIES_MAX)) - 1
-        if pos < 0:
-            return None
-        t0, key = entries[pos]
-        return t0, key
+        with self._lock:
+            entries = self._series.get(series)
+            if not entries:
+                return None
+            pos = bisect.bisect_right(entries, (t, _SERIES_MAX)) - 1
+            if pos < 0:
+                return None
+            t0, key = entries[pos]
+            return t0, key
 
     def lookup(self, key: KeyTuple) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        # clone outside the lock: payloads are immutable once admitted
+        # (copy-on-read contract), and cloning a large snapshot graph
+        # must not serialize every other window's lookups behind it
         return entry.clone(entry.payload)
 
     def admit(
@@ -364,27 +400,36 @@ class StateCheckpointCache:
     ) -> bool:
         """Insert a replayed state; returns whether it was admitted (a
         second-touch policy defers the first sighting to probation)."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        elif self.admission == "second-touch" and key not in self._probation:
-            self._probation[key] = None
-            while len(self._probation) > self.max_entries * PROBATION_FACTOR:
-                self._probation.popitem(last=False)
-            self.deferred += 1
-            return False
-        else:
-            self._probation.pop(key, None)
-        self._drop_from_series(self._entries.get(key))
-        self._entries[key] = _CheckpointEntry(key, payload, clone, series, t)
-        if series is not None:
-            import bisect
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif (
+                self.admission == "second-touch"
+                and key not in self._probation
+            ):
+                self._probation[key] = None
+                while (
+                    len(self._probation)
+                    > self.max_entries * PROBATION_FACTOR
+                ):
+                    self._probation.popitem(last=False)
+                self.deferred += 1
+                return False
+            else:
+                self._probation.pop(key, None)
+            self._drop_from_series(self._entries.get(key))
+            self._entries[key] = _CheckpointEntry(
+                key, payload, clone, series, t
+            )
+            if series is not None:
+                import bisect
 
-            bisect.insort(self._series.setdefault(series, []), (t, key))
-        while len(self._entries) > self.max_entries:
-            _k, evicted = self._entries.popitem(last=False)
-            self._drop_from_series(evicted)
-            self.evictions += 1
-        return True
+                bisect.insort(self._series.setdefault(series, []), (t, key))
+            while len(self._entries) > self.max_entries:
+                _k, evicted = self._entries.popitem(last=False)
+                self._drop_from_series(evicted)
+                self.evictions += 1
+            return True
 
     def _drop_from_series(self, entry: Optional[_CheckpointEntry]) -> None:
         if entry is None or entry.series is None:
@@ -400,24 +445,36 @@ class StateCheckpointCache:
             self._series.pop(entry.series, None)
 
     def invalidate(self, key: KeyTuple) -> None:
-        entry = self._entries.pop(key, None)
-        self._drop_from_series(entry)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            self._drop_from_series(entry)
 
     def clear(self) -> None:
         """Drop all entries (counters are retained)."""
-        self._entries.clear()
-        self._series.clear()
-        self._probation.clear()
+        with self._lock:
+            self._entries.clear()
+            self._series.clear()
+            self._probation.clear()
 
     def stats(self) -> CheckpointStats:
-        return CheckpointStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            entries=len(self._entries),
-            max_entries=self.max_entries,
-            deferred=self.deferred,
-        )
+        with self._lock:
+            return CheckpointStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._entries),
+                max_entries=self.max_entries,
+                deferred=self.deferred,
+            )
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __repr__(self) -> str:
         s = self.stats()
@@ -466,6 +523,7 @@ class CacheRegistry:
     ) -> None:
         self.ttl = ttl
         self.clock = clock
+        self._lock = threading.RLock()
         self._slots: Dict[str, CacheSlot] = {}
 
     # ------------------------------------------------------------------
@@ -490,18 +548,19 @@ class CacheRegistry:
         checkpoint_entries: int,
         checkpoint_admission: str = "always",
     ) -> CacheSlot:
-        self._sweep()
-        slot = self._slots.get(index_id)
-        if slot is None:
-            slot = CacheSlot()
-            self._slots[index_id] = slot
-        if slot.delta is None and (delta_entries > 0 or delta_bytes > 0):
-            slot.delta = DeltaCache(delta_entries, delta_bytes)
-        if slot.checkpoints is None and checkpoint_entries > 0:
-            slot.checkpoints = StateCheckpointCache(
-                checkpoint_entries, admission=checkpoint_admission
-            )
-        return slot
+        with self._lock:
+            self._sweep()
+            slot = self._slots.get(index_id)
+            if slot is None:
+                slot = CacheSlot()
+                self._slots[index_id] = slot
+            if slot.delta is None and (delta_entries > 0 or delta_bytes > 0):
+                slot.delta = DeltaCache(delta_entries, delta_bytes)
+            if slot.checkpoints is None and checkpoint_entries > 0:
+                slot.checkpoints = StateCheckpointCache(
+                    checkpoint_entries, admission=checkpoint_admission
+                )
+            return slot
 
     def acquire(
         self,
@@ -515,27 +574,29 @@ class CacheRegistry:
 
         Pair with :meth:`release`; the caches requested here are created
         on first use and shared verbatim with every other consumer."""
-        slot = self._slot(
-            index_id, delta_entries, delta_bytes, checkpoint_entries,
-            checkpoint_admission,
-        )
-        slot.refs += 1
-        slot.expires_at = None
-        return slot
+        with self._lock:
+            slot = self._slot(
+                index_id, delta_entries, delta_bytes, checkpoint_entries,
+                checkpoint_admission,
+            )
+            slot.refs += 1
+            slot.expires_at = None
+            return slot
 
     def release(self, index_id: str) -> None:
         """Drop one reference; the last release discards the slot (after
         the registry's TTL, when one is configured)."""
-        slot = self._slots.get(index_id)
-        if slot is None:
-            return
-        slot.refs -= 1
-        if slot.refs <= 0:
-            if self.ttl is None:
-                del self._slots[index_id]
-            else:
-                slot.expires_at = self.clock() + self.ttl
-        self._sweep()
+        with self._lock:
+            slot = self._slots.get(index_id)
+            if slot is None:
+                return
+            slot.refs -= 1
+            if slot.refs <= 0:
+                if self.ttl is None:
+                    del self._slots[index_id]
+                else:
+                    slot.expires_at = self.clock() + self.ttl
+            self._sweep()
 
     # ------------------------------------------------------------------
     # un-refcounted access (legacy consumers, tests, introspection)
@@ -550,24 +611,29 @@ class CacheRegistry:
             raise ValueError(
                 "CacheRegistry.get needs capacity for at least 1 entry"
             )
-        return self._slot(index_id, max_entries, 0, 0).delta
+        with self._lock:
+            return self._slot(index_id, max_entries, 0, 0).delta
 
     def peek(self, index_id: str) -> Optional[DeltaCache]:
         """The shared delta cache for ``index_id`` if one exists."""
-        slot = self._slots.get(index_id)
-        return slot.delta if slot is not None else None
+        with self._lock:
+            slot = self._slots.get(index_id)
+            return slot.delta if slot is not None else None
 
     def peek_slot(self, index_id: str) -> Optional[CacheSlot]:
         """The whole slot for ``index_id`` if one exists (no creation)."""
-        return self._slots.get(index_id)
+        with self._lock:
+            return self._slots.get(index_id)
 
     def drop(self, index_id: str) -> None:
         """Forget one index's shared caches (e.g. the index was rebuilt)."""
-        self._slots.pop(index_id, None)
+        with self._lock:
+            self._slots.pop(index_id, None)
 
     def clear(self) -> None:
         """Forget every shared cache (used by tests and benchmarks)."""
-        self._slots.clear()
+        with self._lock:
+            self._slots.clear()
 
     def __len__(self) -> int:
         return len(self._slots)

@@ -33,14 +33,48 @@ is bit-identical to fetch-only accounting.
 
 from __future__ import annotations
 
+import contextvars
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.cache import DeltaCache
 from repro.exec.coalesce import CoalesceReport, CoalesceScope
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, KeyTuple
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import ExecutionTimeline, FetchStats, RoundTiming
+
+#: The active cancellation check for this execution context, if any.
+#: Context-local (per thread / per task), so one served request's
+#: deadline never cancels another request's stages.
+_CANCEL_CHECK: "contextvars.ContextVar[Optional[Callable[[], None]]]" = (
+    contextvars.ContextVar("hgs_cancel_check", default=None)
+)
+
+
+@contextmanager
+def cancel_scope(check: Callable[[], None]):
+    """Run executor work under a cancellation check.
+
+    ``check`` is called between stages/rounds (never mid-multiget) and
+    cancels the execution by raising — the session's deadline
+    enforcement raises :class:`~repro.api.wire.DeadlineExceeded`.  The
+    scope rides a :mod:`contextvars` variable rather than a parameter so
+    it reaches the executor through any call depth (``TGI.get_*`` build
+    and run their plans internally) without threading an argument
+    through every retrieval method."""
+    token = _CANCEL_CHECK.set(check)
+    try:
+        yield
+    finally:
+        _CANCEL_CHECK.reset(token)
+
+
+def check_cancelled() -> None:
+    """Invoke the context's cancellation check (no-op outside a scope)."""
+    check = _CANCEL_CHECK.get()
+    if check is not None:
+        check()
 
 
 def _replay_items(value: Any) -> int:
@@ -145,6 +179,7 @@ class PlanExecutor:
         # while it runs (dynamic plans: e.g. a BFS whose depth is data-
         # dependent)
         while pos < len(plan.stages):
+            check_cancelled()
             entry = plan.stages[pos]
             pos += 1
             stage = entry if isinstance(entry, FetchStage) else entry(
@@ -205,6 +240,7 @@ class PlanExecutor:
                 self.cluster, self.cache, len(plans), self.apply_workers
             )
             while any(not c.done for c in cursors):
+                check_cancelled()
                 window = scope.begin_window()
                 for cursor in cursors:
                     if cursor.done:
@@ -215,6 +251,7 @@ class PlanExecutor:
                 scope.flush_window(window, clients, timeline)
         else:
             while any(not c.done for c in cursors):
+                check_cancelled()
                 for cursor in cursors:
                     if cursor.done:
                         continue

@@ -41,6 +41,7 @@ self-contained.
 from __future__ import annotations
 
 import bisect
+import threading
 from dataclasses import replace as _dc_replace
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
@@ -158,6 +159,7 @@ class TGI(HistoricalGraphIndex):
         self._t_min: Optional[TimePoint] = None
         self._t_max: Optional[TimePoint] = None
         self._apply_pool = None  # lazy ThreadPoolExecutor (apply_workers > 1)
+        self._pool_lock = threading.Lock()
         #: Learned occupancy corrections for the k-hop frontier model,
         #: keyed by k: EWMA of observed/predicted touched-partition
         #: ratios, folded into ``expected_khop_pids``' margin (fixes the
@@ -165,24 +167,35 @@ class TGI(HistoricalGraphIndex):
         self._frontier_corrections: Dict[int, float] = {}
 
     def _pool(self):
-        """The shared per-partition apply pool (created on first use)."""
+        """The shared per-partition apply pool (created on first use).
+        Creation is locked: concurrent queries over one served index
+        would otherwise both build a pool and orphan one of them."""
         pool = self._apply_pool
         if pool is None:
-            from concurrent.futures import ThreadPoolExecutor
+            with self._pool_lock:
+                pool = self._apply_pool
+                if pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
 
-            pool = ThreadPoolExecutor(
-                max_workers=self.config.apply_workers,
-                thread_name_prefix="tgi-apply",
-            )
-            self._apply_pool = pool
+                    pool = ThreadPoolExecutor(
+                        max_workers=self.config.apply_workers,
+                        thread_name_prefix="tgi-apply",
+                    )
+                    self._apply_pool = pool
         return pool
 
     def __getstate__(self):
-        # thread pools don't pickle (save_index serializes whole indexes);
-        # drop the pool — it is recreated lazily on the next parallel replay
+        # thread pools and locks don't pickle (save_index serializes
+        # whole indexes); drop both — the pool is recreated lazily on
+        # the next parallel replay
         state = dict(self.__dict__)
         state["_apply_pool"] = None
+        state["_pool_lock"] = None
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # learned frontier-occupancy corrections

@@ -1,0 +1,231 @@
+"""The micro-batching request collector.
+
+This is where the service earns its keep: PR 7 taught
+:meth:`~repro.session.GraphSession.execute_batch` to run several
+queries through one coalesced, pipelined execution — keys needed by
+multiple queries fetched once, same-window fetches merged into shared
+multiget rounds (the cross-query analogue of the paper's Algorithm 4
+shared-frontier fetching).  But that only helps callers who *arrive
+together*.  The :class:`MicroBatchCollector` manufactures togetherness:
+requests from independent HTTP callers accumulate for a bounded window
+(``window_ms``, or until ``max_batch`` arrive, whichever is first) and
+the whole window executes as one batch on a worker thread.  Overlapping
+k-hop neighborhoods from 32 different clients then share root-partition
+and spanning-delta fetches exactly as if one caller had batched them.
+
+Latency contract: a request waits at most one window before execution
+starts, and the window arms only when the first request of a batch
+arrives — an idle service adds zero latency to the next request beyond
+its own execution.  Fault isolation: the batch runs with
+``capture_errors=True``, so one bad request (dead node, expired
+deadline) resolves to its own structured error while its batchmates
+complete.
+
+Threading model: ``submit``/``drain`` run on the event loop;
+``execute_batch`` runs on a :class:`~concurrent.futures.ThreadPoolExecutor`
+(default one worker, which also serializes session-state updates);
+completion callbacks hop back to the loop thread to resolve futures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Set
+
+from repro.api import Draining, QueryRequest, QueryResult
+
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass
+class CollectedResult:
+    """One request's outcome plus its batching provenance."""
+
+    result: QueryResult
+    batch_id: int
+    batch_size: int
+    queue_ms: float
+    exec_ms: float
+
+
+@dataclass
+class _Pending:
+    request: QueryRequest
+    caller: str
+    deadline_at: Optional[float]
+    future: "asyncio.Future[CollectedResult]"
+    enqueued_at: float
+
+
+@dataclass
+class _Batch:
+    batch_id: int
+    members: List[_Pending]
+    started_at: float = 0.0
+    queue_mss: List[float] = field(default_factory=list)
+
+
+class MicroBatchCollector:
+    """Accumulate in-flight requests and execute them per-window."""
+
+    def __init__(
+        self,
+        session: Any,
+        *,
+        window_ms: float = 10.0,
+        max_batch: int = 32,
+        workers: int = 1,
+        metrics: Optional[ServiceMetrics] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.session = session
+        self.window_s = max(0.0, window_ms) / 1000.0
+        self.max_batch = max_batch
+        self.metrics = metrics
+        self.clock = clock
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, workers),
+            thread_name_prefix="hgs-exec",
+        )
+        self._pending: List[_Pending] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._inflight: Set["asyncio.Future[Any]"] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._accepting = True
+        self._batch_seq = 0
+        self.batches_run = 0
+
+    # -- submission (event-loop thread) ---------------------------------
+    async def submit(
+        self,
+        request: QueryRequest,
+        caller: str = "anon",
+        deadline_at: Optional[float] = None,
+    ) -> CollectedResult:
+        """Queue one request into the open window and await its result.
+
+        ``deadline_at`` is absolute on the session clock, measured from
+        wherever the caller considers the request to have *arrived* —
+        the HTTP layer passes admission time, so time spent waiting in
+        the window counts against the budget.  Raises
+        :class:`~repro.api.Draining` once :meth:`drain` has started.
+        """
+        if not self._accepting:
+            raise Draining("service is draining; not accepting new queries")
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        pending = _Pending(
+            request=request,
+            caller=caller,
+            deadline_at=deadline_at,
+            future=loop.create_future(),
+            enqueued_at=self.clock(),
+        )
+        self._pending.append(pending)
+        if len(self._pending) >= self.max_batch:
+            self._flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(self.window_s, self._flush)
+        return await pending.future
+
+    def _flush(self) -> None:
+        """Close the open window and hand it to a worker thread."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        members, self._pending = self._pending, []
+        self._batch_seq += 1
+        batch = _Batch(batch_id=self._batch_seq, members=members)
+        assert self._loop is not None
+        future = self._loop.run_in_executor(
+            self._pool, self._run_batch, batch
+        )
+        self._inflight.add(future)
+        future.add_done_callback(
+            lambda fut, batch=batch: self._finish(batch, fut)
+        )
+
+    # -- execution (worker thread) --------------------------------------
+    def _run_batch(self, batch: _Batch):
+        batch.started_at = self.clock()
+        batch.queue_mss = [
+            (batch.started_at - p.enqueued_at) * 1000.0
+            for p in batch.members
+        ]
+        results = self.session.execute_batch(
+            [p.request for p in batch.members],
+            capture_errors=True,
+            deadline_ats=[p.deadline_at for p in batch.members],
+        )
+        exec_ms = (self.clock() - batch.started_at) * 1000.0
+        return results, exec_ms
+
+    # -- completion (event-loop thread) ---------------------------------
+    def _finish(self, batch: _Batch, future: "asyncio.Future[Any]") -> None:
+        self._inflight.discard(future)
+        self.batches_run += 1
+        if future.cancelled() or future.exception() is not None:
+            exc = (
+                future.exception()
+                if not future.cancelled() and future.exception()
+                else Draining("batch execution cancelled")
+            )
+            for p in batch.members:
+                if not p.future.done():
+                    p.future.set_exception(exc)
+            return
+        results, exec_ms = future.result()
+        if self.metrics is not None:
+            self.metrics.record_batch(
+                len(batch.members), exec_ms, batch.queue_mss
+            )
+        for p, result, queue_ms in zip(
+            batch.members, results, batch.queue_mss
+        ):
+            if self.metrics is not None and result.ok:
+                self.metrics.record_query(
+                    p.caller, p.request.kind, result.stats
+                )
+            if not p.future.done():
+                p.future.set_result(
+                    CollectedResult(
+                        result=result,
+                        batch_id=batch.batch_id,
+                        batch_size=len(batch.members),
+                        queue_ms=queue_ms,
+                        exec_ms=exec_ms,
+                    )
+                )
+
+    # -- lifecycle ------------------------------------------------------
+    def stop_accepting(self) -> None:
+        """Refuse new submissions (sync; safe from a signal handler)."""
+        self._accepting = False
+
+    @property
+    def accepting(self) -> bool:
+        return self._accepting
+
+    async def drain(self) -> None:
+        """Stop accepting, flush the open window, and wait for every
+        in-flight batch to resolve.  Admitted requests complete; new
+        ones see :class:`~repro.api.Draining`."""
+        self._accepting = False
+        self._flush()
+        while self._inflight:
+            await asyncio.gather(
+                *list(self._inflight), return_exceptions=True
+            )
+            # completion callbacks may have flushed nothing further, but
+            # gathering copies: loop until the set is empty
+        self._pool.shutdown(wait=True)
+
+
+__all__ = ["CollectedResult", "MicroBatchCollector"]

@@ -1,0 +1,245 @@
+"""Service-side observability: counters and latency histograms.
+
+Everything the ``GET /metrics`` endpoint reports lives in one
+:class:`ServiceMetrics` object shared by the HTTP front end and the
+micro-batching collector.  The design follows the paper's own
+accounting discipline (Sec. 6 reports per-query fetch counts and
+per-algorithm costs): the service never invents numbers — it folds the
+:class:`~repro.api.QueryStats` each executed request already carries
+into per-caller aggregates.  Because batched execution attributes
+shared fetches *fairly* (a row fetched for ``n`` requests bills ``1/n``
+to each), the per-caller ``store_requests`` / ``store_bytes`` sums here
+add up exactly to the deduplicated totals the store saw — tenant
+accounting stays honest under cross-caller coalescing.
+
+All mutation happens under one lock; the snapshot is a plain dict so
+the endpoint can ``json.dumps`` it without touching live state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+#: Upper bounds (milliseconds) of the histogram buckets; the last
+#: bucket is open-ended.  Roughly log-spaced from sub-millisecond
+#: in-process calls to multi-second stragglers.
+DEFAULT_BOUNDS_MS = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket latency histogram with percentile estimates.
+
+    Percentiles are read from bucket upper bounds, which overestimates
+    by at most one bucket width — good enough for a serving dashboard,
+    and it keeps ``observe`` O(buckets) with no sample retention.
+    Not thread-safe on its own; callers hold the metrics lock.
+    """
+
+    def __init__(self, bounds_ms: Sequence[float] = DEFAULT_BOUNDS_MS):
+        self.bounds = tuple(bounds_ms)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum_ms = 0.0
+        self.max_ms = 0.0
+
+    def observe(self, ms: float) -> None:
+        self.total += 1
+        self.sum_ms += ms
+        if ms > self.max_ms:
+            self.max_ms = ms
+        for i, bound in enumerate(self.bounds):
+            if ms <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The smallest bucket bound covering fraction ``q`` of samples
+        (the max seen for the open-ended tail); ``None`` when empty."""
+        if self.total == 0:
+            return None
+        target = q * self.total
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= target:
+                return (
+                    self.bounds[i] if i < len(self.bounds) else self.max_ms
+                )
+        return self.max_ms
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.total,
+            "mean_ms": (
+                round(self.sum_ms / self.total, 3) if self.total else None
+            ),
+            "max_ms": round(self.max_ms, 3),
+            "p50_ms": self.percentile(0.50),
+            "p90_ms": self.percentile(0.90),
+            "p99_ms": self.percentile(0.99),
+            "buckets": {
+                **{
+                    f"le_{bound:g}": count
+                    for bound, count in zip(self.bounds, self.counts)
+                },
+                "inf": self.counts[-1],
+            },
+        }
+
+
+class ServiceMetrics:
+    """Shared, lock-protected counters for the whole service."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total = 0
+        self.by_status: Dict[int, int] = {}
+        self.by_caller: Dict[str, int] = {}
+        self.by_kind: Dict[str, int] = {}
+        self.rejected: Dict[str, int] = {}
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+        self.coalesced_hits = 0
+        self.coalesced_bytes_saved = 0.0
+        self.merged_rounds = 0
+        self.store_requests: Dict[str, float] = {}
+        self.store_bytes: Dict[str, float] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.checkpoint_hits = 0
+        self.checkpoint_misses = 0
+        self.checkpoint_near_hits = 0
+        #: wall time from HTTP admission to response write
+        self.service_latency = LatencyHistogram()
+        #: wall time the thread pool spent inside ``execute_batch``
+        self.exec_latency = LatencyHistogram()
+        #: time requests waited in the collector window
+        self.queue_latency = LatencyHistogram()
+
+    # -- recording ------------------------------------------------------
+    def record_response(
+        self, caller: str, status: int, wall_ms: float
+    ) -> None:
+        with self._lock:
+            self.requests_total += 1
+            self.by_status[status] = self.by_status.get(status, 0) + 1
+            self.by_caller[caller] = self.by_caller.get(caller, 0) + 1
+            self.service_latency.observe(wall_ms)
+
+    def record_rejection(self, reason: str) -> None:
+        with self._lock:
+            self.rejected[reason] = self.rejected.get(reason, 0) + 1
+
+    def record_batch(
+        self, size: int, exec_ms: float, queue_mss: Sequence[float]
+    ) -> None:
+        with self._lock:
+            self.batches += 1
+            self.batched_requests += size
+            if size > self.max_batch_size:
+                self.max_batch_size = size
+            self.exec_latency.observe(exec_ms)
+            for queue_ms in queue_mss:
+                self.queue_latency.observe(queue_ms)
+
+    def record_query(self, caller: str, kind: str, stats: Any) -> None:
+        """Fold one executed request's :class:`QueryStats` in."""
+        with self._lock:
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+            self.store_requests[caller] = (
+                self.store_requests.get(caller, 0.0) + stats.requests
+            )
+            self.store_bytes[caller] = (
+                self.store_bytes.get(caller, 0.0) + stats.bytes_read
+            )
+            self.coalesced_hits += stats.coalesced_hits
+            self.coalesced_bytes_saved += stats.coalesced_bytes_saved
+            self.merged_rounds += stats.merged_rounds
+            self.cache_hits += stats.cache_hits
+            self.cache_misses += stats.cache_misses
+            self.checkpoint_hits += stats.checkpoint_hits
+            self.checkpoint_misses += stats.checkpoint_misses
+            self.checkpoint_near_hits += stats.checkpoint_near_hits
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready copy of every counter, taken under the lock."""
+        with self._lock:
+            ckpt_lookups = (
+                self.checkpoint_hits
+                + self.checkpoint_misses
+                + self.checkpoint_near_hits
+            )
+            return {
+                "requests": {
+                    "total": self.requests_total,
+                    "by_status": {
+                        str(k): v for k, v in sorted(self.by_status.items())
+                    },
+                    "by_caller": dict(sorted(self.by_caller.items())),
+                    "by_kind": dict(sorted(self.by_kind.items())),
+                    "rejected": dict(sorted(self.rejected.items())),
+                },
+                "batches": {
+                    "count": self.batches,
+                    "requests": self.batched_requests,
+                    "mean_size": (
+                        round(self.batched_requests / self.batches, 2)
+                        if self.batches else None
+                    ),
+                    "max_size": self.max_batch_size,
+                },
+                "coalesce": {
+                    "hits": self.coalesced_hits,
+                    "bytes_saved": round(self.coalesced_bytes_saved, 2),
+                    "merged_rounds": self.merged_rounds,
+                },
+                "store": {
+                    "requests_by_caller": {
+                        caller: round(value, 2)
+                        for caller, value in sorted(
+                            self.store_requests.items()
+                        )
+                    },
+                    "bytes_by_caller": {
+                        caller: round(value, 2)
+                        for caller, value in sorted(self.store_bytes.items())
+                    },
+                },
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                },
+                "checkpoints": {
+                    "hits": self.checkpoint_hits,
+                    "misses": self.checkpoint_misses,
+                    "near_hits": self.checkpoint_near_hits,
+                    "hit_rate": (
+                        round(
+                            (self.checkpoint_hits
+                             + self.checkpoint_near_hits)
+                            / ckpt_lookups,
+                            3,
+                        )
+                        if ckpt_lookups else None
+                    ),
+                },
+                "latency": {
+                    "service_ms": self.service_latency.as_dict(),
+                    "exec_ms": self.exec_latency.as_dict(),
+                    "queue_ms": self.queue_latency.as_dict(),
+                },
+            }
+
+
+__all__: List[str] = [
+    "DEFAULT_BOUNDS_MS",
+    "LatencyHistogram",
+    "ServiceMetrics",
+]

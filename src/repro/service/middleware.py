@@ -1,0 +1,89 @@
+"""Request middleware: small composable hooks run before routing.
+
+Each middleware is a callable ``(RequestContext) -> None`` that may
+annotate the context (request id, caller identity) or abort the request
+by raising a :class:`~repro.api.ServiceError` (auth).  The chain is
+deliberately minimal — a list, run in order — because the interesting
+policy lives in dedicated layers (admission control, the collector);
+middleware only establishes *who* is asking and *which* request this is
+in the logs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.api import Unauthorized
+
+#: Monotonic fallback request-id counter (process-wide).
+_REQUEST_SEQ = itertools.count(1)
+
+
+@dataclass
+class RequestContext:
+    """Everything middleware and routing know about one HTTP request."""
+
+    method: str
+    path: str
+    headers: Dict[str, str]
+    received_at: float = field(default_factory=time.monotonic)
+    caller: str = "anon"
+    request_id: str = ""
+
+
+Middleware = Callable[[RequestContext], None]
+
+
+def request_id_middleware(ctx: RequestContext) -> None:
+    """Propagate ``X-Request-Id`` or mint one; echoed on the response
+    so callers can correlate retries with access-log lines."""
+    ctx.request_id = (
+        ctx.headers.get("x-request-id") or f"req-{next(_REQUEST_SEQ):08d}"
+    )
+
+
+def caller_middleware(ctx: RequestContext) -> None:
+    """Callers self-identify via ``X-Caller``; rate limits and fair
+    store accounting key on this name."""
+    caller = ctx.headers.get("x-caller", "").strip()
+    if caller:
+        ctx.caller = caller
+
+
+def auth_middleware(token: str) -> Middleware:
+    """A stub bearer-token check: every request (except health probes)
+    must send ``Authorization: Bearer <token>``.  Stands in for real
+    verification without inventing an identity system the paper does
+    not have."""
+
+    def check(ctx: RequestContext) -> None:
+        if ctx.path == "/healthz":
+            return
+        header = ctx.headers.get("authorization", "")
+        if header != f"Bearer {token}":
+            raise Unauthorized("missing or invalid bearer token")
+
+    return check
+
+
+def default_middlewares(
+    auth_token: Optional[str] = None,
+) -> List[Middleware]:
+    """The stock chain: request-id, caller identity, optional auth."""
+    chain: List[Middleware] = [request_id_middleware, caller_middleware]
+    if auth_token:
+        chain.append(auth_middleware(auth_token))
+    return chain
+
+
+__all__ = [
+    "Middleware",
+    "RequestContext",
+    "auth_middleware",
+    "caller_middleware",
+    "default_middlewares",
+    "request_id_middleware",
+]

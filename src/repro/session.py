@@ -41,6 +41,7 @@ classes keep working and offer ``.session()`` shims.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -61,6 +62,7 @@ from repro.api import (
     ALGO_PER_CENTER,
     ALGO_SNAPSHOT_FIRST,
     ALGORITHMS,
+    DeadlineExceeded,
     QueryRequest,
     QueryResult,
     QueryStats,
@@ -71,6 +73,7 @@ from repro.exec import (
     DeltaCache,
     PlanExecutor,
     StateCheckpointCache,
+    cancel_scope,
     shared_caches,
 )
 from repro.graph.static import Graph
@@ -314,6 +317,9 @@ class GraphSession:
             tgi, self.sc, clients_per_partition=clients
         )
         self.planner = TGIPlanner(tgi)
+        #: Wall clock for deadline enforcement (monotonic seconds);
+        #: injectable so tests can drive expiry deterministically.
+        self.clock: Callable[[], float] = _time.monotonic
         self.last_result: Optional[QueryResult] = None
         # per-algorithm EWMA of observed actual/predicted sim-ms ratios;
         # applied multiplicatively to subsequent candidate pricing
@@ -545,8 +551,39 @@ class GraphSession:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def execute(self, request: QueryRequest) -> QueryResult:
-        """Price, select, and run one compiled request."""
+    def execute(
+        self,
+        request: QueryRequest,
+        *,
+        deadline_at: Optional[float] = None,
+    ) -> QueryResult:
+        """Price, select, and run one compiled request.
+
+        ``deadline_at`` is an absolute instant on :attr:`clock`
+        (monotonic seconds); when omitted it is derived from the
+        request's ``deadline_ms`` budget, counted from now.  An expired
+        deadline — at entry or between fetch rounds — raises
+        :class:`~repro.api.DeadlineExceeded`.  Cancellation is
+        cooperative: the executor checks between stages and scheduling
+        rounds, never mid-``multiget``, so a fetch already issued to the
+        store completes before the query aborts.
+        """
+        if deadline_at is None and request.deadline_ms is not None:
+            deadline_at = self.clock() + request.deadline_ms / 1000.0
+        if deadline_at is None:
+            return self._dispatch(request)
+
+        def check() -> None:
+            if self.clock() > deadline_at:
+                raise DeadlineExceeded(
+                    f"deadline exceeded running {request.kind} query"
+                )
+
+        check()
+        with cancel_scope(check):
+            return self._dispatch(request)
+
+    def _dispatch(self, request: QueryRequest) -> QueryResult:
         if request.kind == "khop":
             result = self._execute_khop(request)
         else:
@@ -565,6 +602,9 @@ class GraphSession:
         self,
         requests: Sequence[QueryRequest],
         coalesce: Optional[bool] = None,
+        *,
+        capture_errors: bool = False,
+        deadline_ats: Optional[Sequence[Optional[float]]] = None,
     ) -> List[QueryResult]:
         """Price and run several requests through one shared execution.
 
@@ -593,41 +633,163 @@ class GraphSession:
         input order.  The per-algorithm EWMA correction is *not* updated
         from batched runs — coalesced actuals reflect shared work and
         would mistrain the standalone predictions.
+
+        ``capture_errors=True`` turns per-request failures (bad plans,
+        dead nodes at assembly, expired deadlines) into
+        :class:`QueryResult` slots carrying ``error`` instead of raising
+        — the serving path uses this so one bad request in a window
+        cannot take down its batchmates.  ``deadline_ats`` supplies
+        absolute per-request deadlines on :attr:`clock` (e.g. measured
+        from HTTP admission so collector queue time counts against the
+        budget); unset slots fall back to each request's
+        ``deadline_ms``.  Shared execution is cancelled mid-flight only
+        when *every* plan-participating request carries a deadline —
+        otherwise an unbounded request keeps the batch alive and late
+        requests expire at their assembly check.
         """
         requests = list(requests)
+        now = self.clock()
+        if deadline_ats is None:
+            deadlines: List[Optional[float]] = [None] * len(requests)
+        else:
+            deadlines = list(deadline_ats)
+            if len(deadlines) != len(requests):
+                raise ValueError(
+                    "deadline_ats length must match requests length"
+                )
+        for i, request in enumerate(requests):
+            if deadlines[i] is None and request.deadline_ms is not None:
+                deadlines[i] = now + request.deadline_ms / 1000.0
+
+        def error_result(
+            request: QueryRequest, exc: Exception
+        ) -> QueryResult:
+            return QueryResult(request, None, QueryStats(), error=exc)
+
+        def guarded(
+            request: QueryRequest, deadline_at: Optional[float]
+        ) -> QueryResult:
+            try:
+                return self.execute(request, deadline_at=deadline_at)
+            except Exception as exc:
+                if not capture_errors:
+                    raise
+                return error_result(request, exc)
+
+        def expired(i: int) -> bool:
+            return deadlines[i] is not None and self.clock() > deadlines[i]
+
         do_coalesce = (
             self.tgi.config.coalesce if coalesce is None else coalesce
         )
         if not do_coalesce or len(requests) < 2:
-            return [self.execute(request) for request in requests]
+            return [
+                guarded(request, deadline)
+                for request, deadline in zip(requests, deadlines)
+            ]
         shared: Set = set()
         specs: List[Optional[_BatchSpec]] = []
         plans: List[Any] = []
-        for request in requests:
-            spec = self._plan_batched(request, shared)
+        errors: List[Optional[QueryResult]] = [None] * len(requests)
+        for i, request in enumerate(requests):
+            if expired(i):
+                exc: Exception = DeadlineExceeded(
+                    f"deadline exceeded before planning {request.kind} query"
+                )
+                if not capture_errors:
+                    raise exc
+                errors[i] = error_result(request, exc)
+                specs.append(None)
+                continue
+            try:
+                spec = self._plan_batched(request, shared)
+            except Exception as exc:
+                if not capture_errors:
+                    raise
+                errors[i] = error_result(request, exc)
+                spec = None
             if spec is not None:
                 spec.first = len(plans)
                 plans.extend(spec.plans)
             specs.append(spec)
         if len(plans) < 2:
             # nothing to coalesce across (e.g. all-khop_history batch)
-            return [self.execute(request) for request in requests]
+            return [
+                errors[i] if errors[i] is not None
+                else guarded(requests[i], deadlines[i])
+                for i in range(len(requests))
+            ]
         clients = max(request.clients for request in requests)
-        pipe = self.tgi.executor.execute_many(
-            plans, clients=clients, pipelined=True, coalesce=True
+        # cancel shared execution only when every participant is
+        # deadline-bounded: the latest deadline is the first instant at
+        # which *no* batchmate can still use the remaining fetches
+        live_deadlines = [
+            deadlines[i]
+            for i in range(len(requests))
+            if specs[i] is not None
+        ]
+        batch_deadline = (
+            max(live_deadlines)
+            if live_deadlines and all(d is not None for d in live_deadlines)
+            else None
         )
+        try:
+            if batch_deadline is not None:
+                def batch_check() -> None:
+                    if self.clock() > batch_deadline:
+                        raise DeadlineExceeded(
+                            "deadline exceeded during shared batch"
+                            " execution"
+                        )
+
+                with cancel_scope(batch_check):
+                    pipe = self.tgi.executor.execute_many(
+                        plans, clients=clients,
+                        pipelined=True, coalesce=True,
+                    )
+            else:
+                pipe = self.tgi.executor.execute_many(
+                    plans, clients=clients, pipelined=True, coalesce=True
+                )
+        except DeadlineExceeded as exc:
+            if not capture_errors:
+                raise
+            return [
+                errors[i] if errors[i] is not None
+                else guarded(requests[i], deadlines[i])
+                if specs[i] is None
+                else error_result(requests[i], exc)
+                for i in range(len(requests))
+            ]
         report = pipe.coalesce
         out: List[QueryResult] = []
-        for request, spec in zip(requests, specs):
+        for i, (request, spec) in enumerate(zip(requests, specs)):
+            if errors[i] is not None:
+                out.append(errors[i])
+                continue
             if spec is None:
-                out.append(self.execute(request))
+                out.append(guarded(request, deadlines[i]))
+                continue
+            if expired(i):
+                exc = DeadlineExceeded(
+                    f"deadline exceeded assembling {request.kind} query"
+                )
+                if not capture_errors:
+                    raise exc
+                out.append(error_result(request, exc))
                 continue
             decoded0 = decoded_events_total()
-            finalized = [
-                finalize(pipe.results[spec.first + j].values)
-                for j, finalize in enumerate(spec.finalizes)
-            ]
-            value = spec.assemble(finalized)
+            try:
+                finalized = [
+                    finalize(pipe.results[spec.first + j].values)
+                    for j, finalize in enumerate(spec.finalizes)
+                ]
+                value = spec.assemble(finalized)
+            except Exception as exc:
+                if not capture_errors:
+                    raise
+                out.append(error_result(request, exc))
+                continue
             decoded = decoded_events_total() - decoded0
             span = range(spec.first, spec.first + len(spec.plans))
             fetch = FetchStats()

@@ -1,0 +1,503 @@
+"""Tests for the query service: micro-batching collector, admission
+control, the HTTP front end + client, deadlines, and graceful drain."""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro import GraphSession, TGI, TGIConfig
+from repro.api import (
+    BadRequest,
+    DeadlineExceeded,
+    Draining,
+    NotFound,
+    Overloaded,
+    QueryRequest,
+    RateLimited,
+    ServiceError,
+    Unauthorized,
+    error_from_payload,
+    error_payload,
+    request_from_spec,
+    spec_from_request,
+)
+from repro.kvstore.cluster import ClusterConfig
+from repro.service import (
+    AccessLogger,
+    AdmissionController,
+    BackgroundService,
+    MicroBatchCollector,
+    ServiceClient,
+    ServiceMetrics,
+    TokenBucket,
+)
+from repro.workloads.citation import CitationConfig, generate_citation_events
+
+
+@pytest.fixture(scope="module")
+def events():
+    return generate_citation_events(
+        CitationConfig(num_nodes=300, citations_per_node=4, seed=42)
+    )
+
+
+@pytest.fixture(scope="module")
+def tgi(events):
+    tgi = TGI(TGIConfig(
+        events_per_timespan=1200,
+        eventlist_size=150,
+        micro_partition_size=32,
+        pipeline=True,
+        coalesce=True,
+        cluster=ClusterConfig(num_machines=2),
+    ))
+    tgi.build(events)
+    return tgi
+
+
+@pytest.fixture(scope="module")
+def tmax(events):
+    return events[-1].time
+
+
+def fresh_session(tgi):
+    return GraphSession.from_index(tgi)
+
+
+# -- wire schema -------------------------------------------------------------
+
+def test_spec_round_trip():
+    for spec in (
+        {"kind": "snapshot", "time": 700},
+        {"kind": "node", "node": 5, "ts": 100, "te": 900},
+        {"kind": "khop", "node": 3, "time": 800, "k": 2,
+         "algorithm": "auto", "deadline_ms": 250.0},
+        {"kind": "khop", "nodes": [1, 2, 3], "time": 800, "k": 1,
+         "algorithm": "auto", "clients": 4},
+    ):
+        request = request_from_spec(spec)
+        assert request_from_spec(spec_from_request(request)) == request
+
+
+def test_spec_errors_are_structured():
+    with pytest.raises(BadRequest):
+        request_from_spec({"kind": "teleport"})
+    with pytest.raises(BadRequest, match="missing required field"):
+        request_from_spec({"kind": "snapshot"})
+    with pytest.raises(BadRequest):
+        request_from_spec({"kind": "khop", "node": 1, "time": 5, "k": "x"})
+    with pytest.raises(BadRequest):
+        request_from_spec([1, 2, 3])
+    # a non-positive deadline is rejected at request construction
+    with pytest.raises(BadRequest):
+        request_from_spec(
+            {"kind": "snapshot", "time": 5, "deadline_ms": 0}
+        )
+
+
+def test_error_payload_round_trip():
+    status, payload = error_payload(RateLimited("slow down", retry_after=2.5))
+    assert status == 429
+    err = payload["error"]
+    assert err["code"] == "rate_limited"
+    assert err["retryable"] is True
+    assert err["retry_after_s"] == 2.5
+    back = error_from_payload(status, payload)
+    assert isinstance(back, RateLimited)
+    assert back.retry_after == 2.5
+    # internals never leak a traceback shape
+    status, payload = error_payload(RuntimeError("boom"))
+    assert status == 500
+    assert payload["error"]["code"] == "internal"
+
+
+# -- admission control -------------------------------------------------------
+
+def test_token_bucket_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+    assert bucket.try_acquire() is None
+    assert bucket.try_acquire() is None
+    wait = bucket.try_acquire()
+    assert wait == pytest.approx(0.5)
+    clock.advance(0.5)
+    assert bucket.try_acquire() is None
+
+
+def test_admission_rate_limit_per_caller():
+    clock = FakeClock()
+    admission = AdmissionController(rate=1.0, burst=1.0, clock=clock)
+    admission.admit("alice")
+    with pytest.raises(RateLimited) as info:
+        admission.admit("alice")
+    assert info.value.retry_after > 0
+    # independent buckets per caller
+    admission.admit("bob")
+
+
+def test_admission_load_shedding():
+    admission = AdmissionController(max_pending=2)
+    admission.admit("a")
+    admission.admit("a")
+    with pytest.raises(Overloaded):
+        admission.admit("a")
+    admission.release()
+    admission.admit("a")
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, s: float) -> None:
+        self.now += s
+
+
+# -- micro-batching collector ------------------------------------------------
+
+def khop_request(node, t, k=2):
+    return QueryRequest(kind="khop", t=t, nodes=(node,), k=k, single=True)
+
+
+def test_collector_batches_concurrent_submissions(tgi, tmax):
+    session = fresh_session(tgi)
+    collector = MicroBatchCollector(session, window_ms=20.0, max_batch=16)
+
+    async def run():
+        outs = await asyncio.gather(*[
+            collector.submit(khop_request(node, tmax), caller=f"c{node}")
+            for node in (1, 2, 3, 4)
+        ])
+        await collector.drain()
+        return outs
+
+    outs = asyncio.run(run())
+    assert len({o.batch_id for o in outs}) == 1
+    assert all(o.batch_size == 4 for o in outs)
+    assert all(o.result.ok for o in outs)
+    # member-identical to serial execution
+    serial = fresh_session(tgi)
+    for node, out in zip((1, 2, 3, 4), outs):
+        expect = serial.execute(khop_request(node, tmax))
+        assert sorted(out.result.value.nodes()) == sorted(
+            expect.value.nodes()
+        )
+
+
+def test_collector_size_trigger_flushes_early(tgi, tmax):
+    session = fresh_session(tgi)
+    # window far beyond the test budget: only the size trigger can flush
+    collector = MicroBatchCollector(
+        session, window_ms=10_000.0, max_batch=2
+    )
+
+    async def run():
+        outs = await asyncio.gather(*[
+            collector.submit(khop_request(node, tmax))
+            for node in (1, 2, 3, 4)
+        ])
+        await collector.drain()
+        return outs
+
+    outs = asyncio.run(run())
+    assert all(o.batch_size == 2 for o in outs)
+    assert len({o.batch_id for o in outs}) == 2
+
+
+def test_collector_isolates_bad_requests(tgi, tmax):
+    session = fresh_session(tgi)
+    collector = MicroBatchCollector(session, window_ms=20.0)
+
+    async def run():
+        outs = await asyncio.gather(*[
+            collector.submit(khop_request(node, tmax))
+            for node in (1, 999_999, 2)
+        ])
+        await collector.drain()
+        return outs
+
+    good1, bad, good2 = asyncio.run(run())
+    assert good1.result.ok and good2.result.ok
+    assert not bad.result.ok
+    with pytest.raises(Exception, match="not alive"):
+        bad.result.raise_for_error()
+
+
+def test_collector_rejects_after_drain(tgi, tmax):
+    session = fresh_session(tgi)
+    collector = MicroBatchCollector(session, window_ms=5.0)
+
+    async def run():
+        await collector.drain()
+        with pytest.raises(Draining):
+            await collector.submit(khop_request(1, tmax))
+
+    asyncio.run(run())
+
+
+def test_collector_records_metrics(tgi, tmax):
+    session = fresh_session(tgi)
+    metrics = ServiceMetrics()
+    collector = MicroBatchCollector(
+        session, window_ms=20.0, metrics=metrics
+    )
+
+    async def run():
+        await asyncio.gather(*[
+            collector.submit(khop_request(node, tmax), caller="alice")
+            for node in (1, 2, 3)
+        ])
+        await collector.drain()
+
+    asyncio.run(run())
+    snap = metrics.snapshot()
+    assert snap["batches"]["count"] == 1
+    assert snap["batches"]["requests"] == 3
+    assert snap["requests"]["by_kind"] == {"khop": 3}
+    assert snap["store"]["requests_by_caller"]["alice"] > 0
+    assert snap["latency"]["exec_ms"]["count"] == 1
+    assert snap["latency"]["queue_ms"]["count"] == 3
+
+
+# -- session deadlines -------------------------------------------------------
+
+def test_execute_deadline_expires_with_fake_clock(tgi, tmax):
+    session = fresh_session(tgi)
+    clock = FakeClock()
+    session.clock = lambda: (clock.advance(10.0) or clock.now)
+    request = QueryRequest(
+        kind="khop", t=tmax, nodes=(1,), k=2, single=True, deadline_ms=50.0
+    )
+    with pytest.raises(DeadlineExceeded):
+        session.execute(request)
+
+
+def test_execute_without_deadline_unaffected(tgi, tmax):
+    session = fresh_session(tgi)
+    result = session.execute(khop_request(1, tmax))
+    assert result.ok and result.value.num_nodes > 0
+
+
+def test_execute_batch_capture_errors(tgi, tmax):
+    session = fresh_session(tgi)
+    requests = [
+        khop_request(1, tmax),
+        khop_request(999_999, tmax),  # dead center -> assembly failure
+        khop_request(2, tmax),
+    ]
+    results = session.execute_batch(requests, capture_errors=True)
+    assert results[0].ok and results[2].ok
+    assert not results[1].ok
+    assert results[1].value is None
+    # without capture, the same batch raises
+    with pytest.raises(Exception, match="not alive"):
+        session.execute_batch(requests)
+
+
+def test_execute_batch_expired_deadline_slots(tgi, tmax):
+    session = fresh_session(tgi)
+    past = session.clock() - 1.0
+    results = session.execute_batch(
+        [khop_request(1, tmax), khop_request(2, tmax)],
+        capture_errors=True,
+        deadline_ats=[past, None],
+    )
+    assert isinstance(results[0].error, DeadlineExceeded)
+    assert results[1].ok
+
+
+# -- HTTP service end to end -------------------------------------------------
+
+@pytest.fixture(scope="module")
+def service(tgi):
+    with BackgroundService(
+        fresh_session(tgi), window_ms=10.0, max_batch=16
+    ) as svc:
+        yield svc
+
+
+@pytest.fixture()
+def client(service):
+    return ServiceClient(port=service.port, caller="tests")
+
+
+def test_healthz(client):
+    assert client.healthz() == {"status": "ok"}
+
+
+def test_query_payload_matches_direct_execution(client, tgi, tmax):
+    out = client.query({"kind": "khop", "node": 3, "time": tmax, "k": 2})
+    expect = fresh_session(tgi).execute(khop_request(3, tmax))
+    assert out["members"] == sorted(expect.value.nodes())
+    assert out["neighborhood"]["nodes"] == expect.value.num_nodes
+    assert out["deltas_fetched"] > 0
+    svc = out["service"]
+    assert svc["batch_size"] >= 1 and svc["batch_id"] >= 1
+    assert svc["queue_ms"] >= 0 and svc["exec_ms"] >= 0
+
+
+def test_query_snapshot_and_node(client, tmax):
+    snap = client.query({"kind": "snapshot", "time": tmax // 2})
+    assert snap["snapshot"]["nodes"] > 0
+    hist = client.query(
+        {"kind": "node", "node": 5, "ts": tmax // 3, "te": tmax}
+    )
+    assert hist["node"] == 5 and len(hist["versions"]) >= 1
+
+
+def test_query_bad_kind_http_400(client):
+    with pytest.raises(BadRequest):
+        client.query({"kind": "teleport"})
+
+
+def test_query_dead_node_http_404(client, tmax):
+    with pytest.raises(NotFound):
+        client.query(
+            {"kind": "khop", "node": 999_999, "time": tmax, "k": 1}
+        )
+
+
+def test_request_id_propagation(client, tmax):
+    out = client.query(
+        {"kind": "snapshot", "time": tmax // 2}, request_id="trace-42"
+    )
+    assert out["service"]["request_id"] == "trace-42"
+
+
+def test_metrics_endpoint(client, tmax):
+    client.query({"kind": "snapshot", "time": tmax // 2})
+    snap = client.metrics()
+    assert snap["requests"]["total"] >= 1
+    assert snap["requests"]["by_caller"]["tests"] >= 1
+    assert snap["batches"]["count"] >= 1
+    assert snap["latency"]["service_ms"]["count"] >= 1
+
+
+def test_deadline_expired_in_window_http_504(tgi, tmax):
+    # the window alone (80ms) outlasts a 5ms budget counted from
+    # admission, so the request expires before planning
+    with BackgroundService(
+        fresh_session(tgi), window_ms=80.0, max_batch=64
+    ) as svc:
+        client = ServiceClient(port=svc.port)
+        with pytest.raises(DeadlineExceeded):
+            client.query({
+                "kind": "snapshot", "time": tmax // 2, "deadline_ms": 5,
+            })
+
+
+def test_rate_limit_http_429_with_retry_after(tgi, tmax):
+    with BackgroundService(
+        fresh_session(tgi), window_ms=5.0, rate=0.5, burst=1.0
+    ) as svc:
+        client = ServiceClient(port=svc.port, caller="greedy")
+        client.query({"kind": "snapshot", "time": tmax // 2})
+        with pytest.raises(RateLimited) as info:
+            client.query({"kind": "snapshot", "time": tmax // 2})
+        assert info.value.retry_after and info.value.retry_after > 0
+
+
+def test_auth_middleware(tgi, tmax):
+    with BackgroundService(
+        fresh_session(tgi), window_ms=5.0, auth_token="sesame"
+    ) as svc:
+        anon = ServiceClient(port=svc.port)
+        with pytest.raises(Unauthorized):
+            anon.query({"kind": "snapshot", "time": tmax // 2})
+        # health probes bypass auth
+        assert anon.healthz()["status"] == "ok"
+        authed = ServiceClient(port=svc.port, auth_token="sesame")
+        out = authed.query({"kind": "snapshot", "time": tmax // 2})
+        assert out["snapshot"]["nodes"] > 0
+
+
+def test_draining_rejects_new_queries(tgi, tmax):
+    svc = BackgroundService(fresh_session(tgi), window_ms=5.0).start()
+    try:
+        client = ServiceClient(port=svc.port)
+        client.query({"kind": "snapshot", "time": tmax // 2})
+        svc.service.begin_drain()
+        assert client.healthz() == {"status": "draining"}
+        with pytest.raises(Draining) as info:
+            client.query({"kind": "snapshot", "time": tmax // 2})
+        assert info.value.http_status == 503
+        assert info.value.retryable
+    finally:
+        svc.stop()
+
+
+def test_drain_completes_admitted_requests(tgi, tmax):
+    # a request sitting in an open 100ms window when drain begins must
+    # still complete successfully
+    svc = BackgroundService(
+        fresh_session(tgi), window_ms=100.0, max_batch=64
+    ).start()
+    outcome = {}
+
+    def issue():
+        client = ServiceClient(port=svc.port)
+        try:
+            outcome["payload"] = client.query(
+                {"kind": "snapshot", "time": tmax // 2}
+            )
+        except Exception as exc:  # pragma: no cover - failure detail
+            outcome["error"] = exc
+
+    thread = threading.Thread(target=issue)
+    thread.start()
+    time.sleep(0.03)  # let the request land in the window
+    svc.stop()  # begins drain and joins the serving thread
+    thread.join(timeout=10.0)
+    assert "error" not in outcome, f"drained request failed: {outcome}"
+    assert outcome["payload"]["snapshot"]["nodes"] > 0
+
+
+def test_access_log_lines(tgi, tmax, tmp_path):
+    log_path = tmp_path / "access.jsonl"
+    logger = AccessLogger(str(log_path))
+    try:
+        with BackgroundService(
+            fresh_session(tgi), window_ms=5.0, access_log=logger
+        ) as svc:
+            client = ServiceClient(port=svc.port, caller="auditor")
+            client.query(
+                {"kind": "khop", "node": 3, "time": tmax, "k": 2},
+                request_id="audit-1",
+            )
+            with pytest.raises(NotFound):
+                client.query(
+                    {"kind": "khop", "node": 999_999, "time": tmax, "k": 1}
+                )
+    finally:
+        logger.close()
+    lines = [
+        json.loads(line)
+        for line in log_path.read_text().splitlines()
+        if line
+    ]
+    ok = next(line for line in lines if line["status"] == 200)
+    assert ok["caller"] == "auditor"
+    assert ok["request_id"] == "audit-1"
+    assert ok["kind"] == "khop"
+    assert ok["batch_id"] >= 1 and ok["batch_size"] >= 1
+    assert ok["wall_ms"] >= 0 and ok["sim_time_ms"] > 0
+    assert "predicted_ms" in ok and "algorithm" in ok
+    failed = next(line for line in lines if line["status"] == 404)
+    assert failed["error_code"] == "not_found"
+
+
+def test_client_errors_are_typed(client):
+    try:
+        client.query({"kind": "teleport"})
+    except ServiceError as exc:
+        assert exc.code == "bad_request"
+        assert exc.http_status == 400
+        assert exc.retryable is False
+    else:  # pragma: no cover
+        pytest.fail("expected a ServiceError")

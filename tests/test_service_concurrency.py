@@ -1,0 +1,219 @@
+"""Concurrency regression tests: cache thread-safety and
+member-identical concurrent execution with fair attribution.
+
+The serving layer runs ``execute_batch`` on worker threads while other
+sessions (TAF handlers, CLI queries) may hit the same shared caches, so
+the lock discipline added to :mod:`repro.exec.cache` is load-bearing.
+These tests hammer the structures from many threads and assert the
+invariants that used to hold only single-threaded."""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import GraphSession, TGI, TGIConfig
+from repro.api import QueryRequest
+from repro.exec import CacheRegistry, DeltaCache, StateCheckpointCache
+from repro.kvstore.cluster import ClusterConfig
+from repro.workloads.citation import CitationConfig, generate_citation_events
+
+THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def events():
+    return generate_citation_events(
+        CitationConfig(num_nodes=300, citations_per_node=4, seed=42)
+    )
+
+
+@pytest.fixture(scope="module")
+def tmax(events):
+    return events[-1].time
+
+
+def build_tgi(events, cache_entries=0, checkpoints=0):
+    tgi = TGI(TGIConfig(
+        events_per_timespan=1200,
+        eventlist_size=150,
+        micro_partition_size=32,
+        pipeline=True,
+        coalesce=True,
+        delta_cache_entries=cache_entries,
+        checkpoint_entries=checkpoints,
+        cluster=ClusterConfig(num_machines=2),
+    ))
+    tgi.build(events)
+    return tgi
+
+
+def hammer(fn, threads=THREADS):
+    """Run ``fn(worker_index)`` on many threads; re-raise any failure."""
+    errors = []
+    barrier = threading.Barrier(threads)
+
+    def run(i):
+        barrier.wait()
+        try:
+            fn(i)
+        except Exception as exc:  # pragma: no cover - failure detail
+            errors.append(exc)
+
+    workers = [
+        threading.Thread(target=run, args=(i,)) for i in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    if errors:
+        raise errors[0]
+
+
+# -- cache structures --------------------------------------------------------
+
+def test_cache_registry_concurrent_acquire_release():
+    registry = CacheRegistry()
+    rounds = 200
+
+    def churn(i):
+        for _ in range(rounds):
+            slot = registry.acquire("idx", delta_entries=64)
+            assert slot.delta is not None
+            slot.delta.admit(("k", i), i, 8, 8)
+            registry.release("idx")
+
+    hammer(churn)
+    # every acquire was released: the slot must be fully dropped
+    assert registry.peek_slot("idx") is None
+
+
+def test_cache_registry_interleaved_ids():
+    registry = CacheRegistry()
+
+    def churn(i):
+        index_id = f"idx-{i % 2}"
+        for _ in range(200):
+            registry.acquire(index_id, delta_entries=16)
+            registry.release(index_id)
+
+    hammer(churn)
+    assert registry.peek_slot("idx-0") is None
+    assert registry.peek_slot("idx-1") is None
+
+
+def test_delta_cache_concurrent_admit_lookup():
+    cache = DeltaCache(max_entries=64)
+    per_thread = 500
+
+    def churn(i):
+        for n in range(per_thread):
+            key = ("part", n % 96)
+            row = cache.lookup(key)
+            if row is not None:
+                assert row.value == key[1]
+            cache.admit(key, key[1], 16, 16)
+            if n % 50 == 0:
+                cache.invalidate(("part", (n + i) % 96))
+
+    hammer(churn)
+    assert len(cache) <= 64
+    stats = cache.stats()
+    assert stats.hits + stats.misses == THREADS * per_thread
+    # every surviving entry still maps key -> its own payload
+    for key in list(cache._rows):
+        row = cache.lookup(key)
+        if row is not None:
+            assert row.value == key[1]
+
+
+def test_checkpoint_cache_concurrent_admit_lookup():
+    cache = StateCheckpointCache(max_entries=32)
+    clone = lambda payload: payload  # noqa: E731 - identity is enough
+
+    def churn(i):
+        for n in range(300):
+            key = ("state", n % 48)
+            got = cache.lookup(key)
+            if got is not None:
+                assert got == key[1]
+            cache.admit(
+                key, payload=key[1], clone=clone,
+                series=("series",), t=key[1],
+            )
+            nearest = cache.nearest(("series",), n % 48)
+            if nearest is not None:
+                t0, near_key = nearest
+                assert t0 <= n % 48
+                payload = cache.lookup(near_key)
+                # the entry may have been evicted between nearest and
+                # lookup; when present it must be self-consistent
+                if payload is not None:
+                    assert payload == t0
+
+    hammer(churn)
+    assert len(cache) <= 32
+    stats = cache.stats()
+    assert stats.hits + stats.misses > 0
+
+
+# -- concurrent execution ----------------------------------------------------
+
+def khop_request(node, t, k=2):
+    return QueryRequest(kind="khop", t=t, nodes=(node,), k=k, single=True)
+
+
+def test_concurrent_execute_member_identical(events, tmax):
+    # caches + checkpoints ON: the shared structures are exercised by
+    # every thread, and answers must still match the serial reference
+    tgi = build_tgi(events, cache_entries=256, checkpoints=16)
+    reference_tgi = build_tgi(events)
+    serial = GraphSession.from_index(reference_tgi)
+    nodes = [1, 2, 3, 5, 8, 13, 21, 34]
+    expected = {
+        node: sorted(serial.execute(khop_request(node, tmax)).value.nodes())
+        for node in nodes
+    }
+    session = GraphSession.from_index(tgi, index_id="concurrent-test")
+
+    def churn(i):
+        for node in nodes[i % len(nodes):] + nodes[: i % len(nodes)]:
+            result = session.execute(khop_request(node, tmax))
+            assert sorted(result.value.nodes()) == expected[node]
+
+    try:
+        hammer(churn)
+    finally:
+        session.close()
+
+
+def test_concurrent_batches_fair_attribution_sums(events, tmax):
+    # several execute_batch calls racing on one executor: each batch's
+    # fractional per-request shares must still sum exactly to its own
+    # deduplicated totals (the solo-run reference; the simulation is
+    # deterministic, so equal totals mean nothing leaked across batches)
+    tgi = build_tgi(events)
+    requests = [khop_request(node, tmax) for node in (1, 2, 3, 1, 2)]
+    solo = GraphSession.from_index(tgi).execute_batch(requests)
+    solo_requests = sum(r.stats.requests for r in solo)
+    solo_bytes = sum(r.stats.bytes_read for r in solo)
+    assert solo_requests > 0
+
+    def run_batch(i):
+        session = GraphSession.from_index(tgi)
+        return session.execute_batch(requests)
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        batches = list(pool.map(run_batch, range(8)))
+    for results in batches:
+        assert sum(r.stats.requests for r in results) == pytest.approx(
+            solo_requests
+        )
+        assert sum(r.stats.bytes_read for r in results) == pytest.approx(
+            solo_bytes
+        )
+        for reference, result in zip(solo, results):
+            assert sorted(result.value.nodes()) == sorted(
+                reference.value.nodes()
+            )
