@@ -44,6 +44,7 @@ from repro.api.wire import (
     RateLimited,
     ServiceError,
     Unauthorized,
+    Unavailable,
     error_from_payload,
     error_payload,
     graph_summary,
@@ -70,6 +71,7 @@ __all__ = [
     "RateLimited",
     "ServiceError",
     "Unauthorized",
+    "Unavailable",
     "error_from_payload",
     "error_payload",
     "graph_summary",

@@ -61,6 +61,12 @@ class QueryRequest:
             executor stages and surfaces as a structured
             :class:`~repro.api.wire.DeadlineExceeded` instead of a
             partial result.  ``None`` (the default) means no deadline.
+        allow_partial: opt in to degraded results.  When the store cannot
+            reach some partitions even after the resilience policy is
+            exhausted, the query returns whatever could be assembled and
+            names the dropped partitions in
+            :attr:`~repro.api.result.QueryResult.degraded` instead of
+            raising :class:`~repro.errors.PartitionUnavailable`.
     """
 
     kind: str
@@ -73,6 +79,7 @@ class QueryRequest:
     clients: int = 1
     single: bool = False
     deadline_ms: Optional[float] = None
+    allow_partial: bool = False
 
     def __post_init__(self) -> None:
         if self.kind not in KINDS:

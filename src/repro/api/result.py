@@ -48,6 +48,18 @@ class QueryStats:
         coalesced_bytes_saved: stored bytes those hits kept off the wire.
         merged_rounds: multiget rounds this query shared with at least
             one other plan in a batch (always <= ``rounds``).
+        retries: failed key fetches re-attempted by the resilience
+            policy (0 when the cluster runs without one).
+        hedges: key fetches speculatively re-routed off a straggler
+            replica by hedged reads.
+        breaker_trips: circuit-breaker closed->open transitions caused
+            by this query's rounds.
+        backoff_ms: simulated milliseconds spent sleeping between retry
+            attempts (already included in ``sim_time_ms``).
+        degraded_keys: keys dropped after the retry budget was exhausted
+            (only ever nonzero for ``allow_partial`` requests).
+        degraded_partitions: human-readable labels of the partitions
+            those keys belonged to.
         algorithm: the plan the session executed (e.g. ``snapshot-first``).
         predicted_ms: the cost model's estimate for the chosen plan,
             priced via ``Cluster.plan_records`` before fetching.
@@ -76,6 +88,12 @@ class QueryStats:
     coalesced_hits: int = 0
     coalesced_bytes_saved: int = 0
     merged_rounds: int = 0
+    retries: int = 0
+    hedges: int = 0
+    breaker_trips: int = 0
+    backoff_ms: float = 0.0
+    degraded_keys: int = 0
+    degraded_partitions: list = field(default_factory=list)
     algorithm: Optional[str] = None
     predicted_ms: Optional[float] = None
     candidates: Dict[str, float] = field(default_factory=dict)
@@ -119,6 +137,14 @@ class QueryStats:
             coalesced_hits=getattr(stats, "coalesced_hits", 0),
             coalesced_bytes_saved=getattr(stats, "coalesced_bytes_saved", 0),
             merged_rounds=getattr(stats, "merged_rounds", 0),
+            retries=getattr(stats, "retries", 0),
+            hedges=getattr(stats, "hedges", 0),
+            breaker_trips=getattr(stats, "breaker_trips", 0),
+            backoff_ms=getattr(stats, "backoff_ms", 0.0),
+            degraded_keys=getattr(stats, "degraded_keys", 0),
+            degraded_partitions=list(
+                getattr(stats, "degraded_partitions", ()) or ()
+            ),
             algorithm=algorithm,
             predicted_ms=predicted_ms,
             candidates=dict(candidates or {}),
@@ -166,6 +192,18 @@ class QueryStats:
                 "bytes_saved": _num(self.coalesced_bytes_saved),
                 "merged_rounds": self.merged_rounds,
             }
+        if self.retries or self.hedges or self.breaker_trips:
+            out["resilience"] = {
+                "retries": self.retries,
+                "hedges": self.hedges,
+                "breaker_trips": self.breaker_trips,
+                "backoff_ms": round(self.backoff_ms, 2),
+            }
+        if self.degraded_keys or self.degraded_partitions:
+            out["degraded"] = {
+                "keys": self.degraded_keys,
+                "partitions": list(self.degraded_partitions),
+            }
         if self.algorithm is not None:
             out["algorithm"] = self.algorithm
             out["actual_ms"] = round(self.actual_ms, 2)
@@ -188,12 +226,19 @@ class QueryResult:
     window): the exception that felled this request, with ``value``
     ``None``.  :meth:`raise_for_error` restores raise-on-access
     semantics for callers that want them.
+
+    ``degraded`` is only ever set for ``allow_partial`` requests whose
+    fetch actually dropped data: a dict naming the unavailable
+    partitions (``{"keys": n, "partitions": [...]}``).  Fault-free
+    ``allow_partial`` runs leave it ``None``, so ``degraded is None``
+    means the payload is complete.
     """
 
     request: QueryRequest
     value: Any
     stats: QueryStats
     error: Optional[Exception] = None
+    degraded: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:

@@ -28,7 +28,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.api.request import ALGO_AUTO, QueryRequest
 from repro.api.result import QueryResult
-from repro.errors import HGSError, IndexError_, QueryError
+from repro.errors import HGSError, IndexError_, QueryError, StorageError
 
 
 class ServiceError(HGSError):
@@ -129,6 +129,16 @@ class DeadlineExceeded(ServiceError):
     retryable = True
 
 
+class Unavailable(ServiceError):
+    """The store could not serve some partitions even after the
+    resilience policy (retries, hedging, breaker reroutes) was
+    exhausted.  Retryable: the faulted machines may recover."""
+
+    code = "unavailable"
+    http_status = 503
+    retryable = True
+
+
 #: code -> class, for client-side reconstruction.
 ERROR_CLASSES: Dict[str, type] = {
     cls.code: cls
@@ -140,6 +150,7 @@ ERROR_CLASSES: Dict[str, type] = {
         Overloaded,
         Draining,
         DeadlineExceeded,
+        Unavailable,
     )
 }
 
@@ -159,6 +170,11 @@ def error_payload(exc: Exception) -> Tuple[int, Dict[str, Any]]:
     if isinstance(exc, IndexError_):
         # covers TimeRangeError: the subject isn't in the indexed history
         return 404, NotFound(str(exc)).to_payload()
+    if isinstance(exc, StorageError):
+        # covers PartitionUnavailable / TransientFetchError /
+        # CorruptPayload: the store could not serve the request right
+        # now — retryable, unlike a malformed spec or a missing subject
+        return 503, Unavailable(str(exc)).to_payload()
     wrapped = ServiceError(f"{type(exc).__name__}: {exc}")
     return wrapped.http_status, wrapped.to_payload()
 
@@ -207,16 +223,17 @@ def request_from_spec(
         deadline_ms = spec.get("deadline_ms")
         if deadline_ms is not None:
             deadline_ms = float(deadline_ms)
+        allow_partial = bool(spec.get("allow_partial", False))
         if kind == "snapshot":
             return QueryRequest(
                 kind="snapshot", t=spec["time"], clients=clients,
-                deadline_ms=deadline_ms,
+                deadline_ms=deadline_ms, allow_partial=allow_partial,
             )
         if kind == "node":
             return QueryRequest(
                 kind="node_histories", ts=spec["ts"], te=spec["te"],
                 nodes=(spec["node"],), clients=clients, single=True,
-                deadline_ms=deadline_ms,
+                deadline_ms=deadline_ms, allow_partial=allow_partial,
             )
         if kind == "khop":
             if "nodes" in spec:
@@ -228,6 +245,7 @@ def request_from_spec(
                 k=int(spec.get("k", 1)),
                 algorithm=spec.get("algorithm", default_algorithm),
                 clients=clients, single=single, deadline_ms=deadline_ms,
+                allow_partial=allow_partial,
             )
     except KeyError as exc:
         raise BadRequest(
@@ -269,6 +287,8 @@ def spec_from_request(request: QueryRequest) -> Dict[str, Any]:
         spec["clients"] = request.clients
     if request.deadline_ms is not None:
         spec["deadline_ms"] = request.deadline_ms
+    if request.allow_partial:
+        spec["allow_partial"] = True
     return spec
 
 
@@ -292,24 +312,28 @@ def result_payload(request: QueryRequest, result: QueryResult) -> dict:
     """The kind-specific half of one query's JSON output (stats are
     appended separately via ``result.stats.as_dict()``)."""
     if request.kind == "snapshot":
-        return {"snapshot": graph_summary(result.value)}
-    if request.kind == "node_histories":
-        return {
+        payload = {"snapshot": graph_summary(result.value)}
+    elif request.kind == "node_histories":
+        payload = {
             "node": request.nodes[0],
             "versions": versions_summary(result.value),
         }
-    if request.single:
-        return {
+    elif request.single:
+        payload = {
             "center": request.nodes[0],
             "k": request.k,
             "neighborhood": graph_summary(result.value),
             "members": sorted(result.value.nodes()),
         }
-    return {
-        "centers": list(request.nodes),
-        "k": request.k,
-        "neighborhoods": [
-            graph_summary(g) if g is not None else None
-            for g in result.value
-        ],
-    }
+    else:
+        payload = {
+            "centers": list(request.nodes),
+            "k": request.k,
+            "neighborhoods": [
+                graph_summary(g) if g is not None else None
+                for g in result.value
+            ],
+        }
+    if result.degraded is not None:
+        payload["degraded"] = result.degraded
+    return payload

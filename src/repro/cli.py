@@ -17,6 +17,7 @@ Run ``python -m repro.cli --help`` (or ``hgs --help`` once installed).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from pathlib import Path
@@ -78,6 +79,11 @@ def _build_parser() -> argparse.ArgumentParser:
     build.add_argument("--machines", type=int, default=1, help="m")
     build.add_argument("--replication", type=int, default=1, help="r")
     build.add_argument("--compress", action="store_true")
+    build.add_argument("--checksums", action="store_true",
+                       help="wrap every stored row in a CRC32 envelope "
+                       "so corrupted payloads surface as typed "
+                       "CorruptPayload errors (and the resilient fetch "
+                       "path can retry them) instead of garbage decodes")
     build.add_argument("--codec", choices=list(CODECS), default="columnar",
                        help="eventlist storage codec: columnar packs "
                        "events as parallel int64/uint8 arrays with "
@@ -151,6 +157,16 @@ def _build_parser() -> argparse.ArgumentParser:
                        "(Algorithm 3), khop (targeted Algorithm 4), or "
                        "auto (cost-based selection via plan pricing; "
                        "predicted and actual cost appear in the JSON)")
+    query.add_argument("--resilient", action="store_true",
+                       help="enable the cluster's resilience policy for "
+                       "this run: per-machine retry with backoff, hedged "
+                       "reads off stragglers, and circuit breakers that "
+                       "reroute around failing machines")
+    query.add_argument("--allow-partial", action="store_true",
+                       help="degraded mode: when partitions stay "
+                       "unreachable after retries, return the partial "
+                       "result with a 'degraded' block naming them "
+                       "instead of failing the query")
     # not required at parse time: --batch reads request specs from a
     # file instead of the subcommand; _cmd_query validates the split
     qsub = query.add_subparsers(dest="query_kind", required=False)
@@ -206,6 +222,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--auth-token", default=None,
                        help="require `Authorization: Bearer <token>` on "
                        "every route except /healthz")
+    serve.add_argument("--resilient", action="store_true",
+                       help="enable the store's resilience policy "
+                       "(retries, hedged reads, circuit breakers); "
+                       "/healthz then reports per-machine breaker state")
     serve.add_argument("--access-log", default=None, metavar="PATH",
                        help="structured JSON access log, one line per "
                        "request ('-' = stderr)")
@@ -260,6 +280,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
             replication=args.replication,
             compress=args.compress,
             codec=args.codec,
+            checksums=args.checksums,
             cost_model=CostModel(),
         ),
     )
@@ -292,14 +313,18 @@ _result_payload = result_payload
 
 def _request_for(args: argparse.Namespace) -> QueryRequest:
     """Compile the query subcommand's arguments into a session request."""
+    allow_partial = getattr(args, "allow_partial", False)
     if args.query_kind == "snapshot":
         return QueryRequest(kind="snapshot", t=args.time,
-                            clients=args.clients)
+                            clients=args.clients,
+                            allow_partial=allow_partial)
     if args.query_kind == "node":
         return QueryRequest(kind="node_histories", ts=args.ts, te=args.te,
-                            nodes=(args.node,), single=True)
+                            nodes=(args.node,), single=True,
+                            allow_partial=allow_partial)
     return QueryRequest(kind="khop", t=args.time, nodes=(args.node,),
-                        k=args.k, algorithm=args.algorithm, single=True)
+                        k=args.k, algorithm=args.algorithm, single=True,
+                        allow_partial=allow_partial)
 
 
 # spec parsing is shared with the HTTP service (see repro.api.wire);
@@ -331,6 +356,11 @@ def _cmd_query_batch(session: GraphSession,
         _request_from_spec(spec, args.algorithm)
         for spec in _batch_specs(args.batch)
     ]
+    if getattr(args, "allow_partial", False):
+        requests = [
+            dataclasses.replace(request, allow_partial=True)
+            for request in requests
+        ]
     if args.explain:
         for i, request in enumerate(requests):
             print(f"-- request {i}: {request.describe()}")
@@ -360,6 +390,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     session = GraphSession.from_index(
         index, index_id=str(Path(args.index).expanduser().resolve())
     )
+    if args.resilient:
+        index.cluster.enable_resilience()
     if args.batch is not None:
         return _cmd_query_batch(session, args)
     request = _request_for(args)
@@ -433,6 +465,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     session = GraphSession.from_index(
         index, index_id=str(Path(args.index).expanduser().resolve())
     )
+    if args.resilient:
+        index.cluster.enable_resilience()
     access = AccessLogger(args.access_log) if args.access_log else None
     service = QueryService(
         session,
@@ -482,6 +516,9 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "machines": index.config.cluster.num_machines,
                 "replication": index.config.cluster.replication,
                 "codec": index.config.cluster.codec,
+                "checksums": getattr(
+                    index.config.cluster, "checksums", False
+                ),
                 "apply_workers": index.config.apply_workers,
                 "delta_cache_entries": index.config.delta_cache_entries,
                 "delta_cache_bytes": index.config.delta_cache_bytes,

@@ -243,9 +243,21 @@ class CoalesceScope:
             size = limit if limit else len(merged_keys)
             for i, key in enumerate(merged_keys):
                 chunk_of[key] = i // size
-            chunk_timings = timeline.rounds[-stats.rounds:]
+            chunk_timings = timeline.rounds[-stats.rounds:] if stats.rounds else []
+            n_chunks = (len(merged_keys) + size - 1) // size
+            if len(chunk_timings) != n_chunks and chunk_timings:
+                # resilient retries issued extra rounds: charge every
+                # chunk the window's final completion (conservative)
+                chunk_timings = [chunk_timings[-1]] * n_chunks
             rec_by_key = {r.key: r for r in stats.requests}
             for flight in pending:
+                if flight.key not in values:
+                    # degraded fetch dropped this key: deregister the
+                    # flight so owners and waiters alike see it missing
+                    # (their finalizers degrade or raise typed) and a
+                    # later window can retry it cleanly
+                    self.flights.pop(flight.key, None)
+                    continue
                 record = rec_by_key[flight.key]
                 flight.value = values[flight.key]
                 flight.stored_bytes = record.stored_bytes
@@ -262,6 +274,25 @@ class CoalesceScope:
             self.merged_rounds += sum(
                 1 for plans in chunk_plans.values() if len(plans) > 1
             )
+            if (
+                stats.retries or stats.hedges or stats.breaker_trips
+                or stats.degraded_keys or stats.degraded_partitions
+            ):
+                # resilience counters of the merged round: attributed to
+                # the first owning participant so the batch aggregate
+                # (which sums per-plan stats) counts each event once
+                first_owner = next(
+                    (p for p in window.parts if p.owned), window.parts[0]
+                )
+                fstats = first_owner.cursor.result.stats
+                fstats.retries += stats.retries
+                fstats.hedges += stats.hedges
+                fstats.breaker_trips += stats.breaker_trips
+                fstats.backoff_ms += stats.backoff_ms
+                fstats.degraded_keys += stats.degraded_keys
+                for label in stats.degraded_partitions:
+                    if label not in fstats.degraded_partitions:
+                        fstats.degraded_partitions.append(label)
 
         for part in window.parts:
             cursor = part.cursor
@@ -270,7 +301,9 @@ class CoalesceScope:
             my_chunks: Set[int] = set()
             owned_records = []
             for key in part.owned:
-                record = rec_by_key[key]
+                record = rec_by_key.get(key)
+                if record is None:
+                    continue  # degraded fetch dropped this key
                 owned_records.append(record)
                 cursor.result.values[key] = values[key]
                 my_chunks.add(chunk_of[key])
@@ -279,6 +312,8 @@ class CoalesceScope:
                         record.raw_bytes, _replay_items(values[key])
                     )
             for flight in part.waiting:
+                if not flight.done:
+                    continue  # degraded fetch dropped the owner's key
                 cursor.result.values[flight.key] = flight.value
                 cstats.coalesced_bytes_saved += flight.stored_bytes
                 my_chunks.add(chunk_of[flight.key])
@@ -288,7 +323,7 @@ class CoalesceScope:
                         decoded=True,
                     )
             cstats.requests.extend(owned_records)
-            owned_chunks = {chunk_of[k] for k in part.owned}
+            owned_chunks = {chunk_of[k] for k in part.owned if k in rec_by_key}
             cstats.rounds += len(owned_chunks)
             cstats.merged_rounds += sum(
                 1 for ci in owned_chunks if len(chunk_plans[ci]) > 1

@@ -33,48 +33,17 @@ is bit-identical to fetch-only accounting.
 
 from __future__ import annotations
 
-import contextvars
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+# Re-exported for compatibility: the cancellation scope lives in a leaf
+# module so the cluster's resilient retry loop can use it too.
+from repro.cancellation import cancel_scope, check_cancelled
 from repro.exec.cache import DeltaCache
 from repro.exec.coalesce import CoalesceReport, CoalesceScope
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, KeyTuple
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import ExecutionTimeline, FetchStats, RoundTiming
-
-#: The active cancellation check for this execution context, if any.
-#: Context-local (per thread / per task), so one served request's
-#: deadline never cancels another request's stages.
-_CANCEL_CHECK: "contextvars.ContextVar[Optional[Callable[[], None]]]" = (
-    contextvars.ContextVar("hgs_cancel_check", default=None)
-)
-
-
-@contextmanager
-def cancel_scope(check: Callable[[], None]):
-    """Run executor work under a cancellation check.
-
-    ``check`` is called between stages/rounds (never mid-multiget) and
-    cancels the execution by raising — the session's deadline
-    enforcement raises :class:`~repro.api.wire.DeadlineExceeded`.  The
-    scope rides a :mod:`contextvars` variable rather than a parameter so
-    it reaches the executor through any call depth (``TGI.get_*`` build
-    and run their plans internally) without threading an argument
-    through every retrieval method."""
-    token = _CANCEL_CHECK.set(check)
-    try:
-        yield
-    finally:
-        _CANCEL_CHECK.reset(token)
-
-
-def check_cancelled() -> None:
-    """Invoke the context's cancellation check (no-op outside a scope)."""
-    check = _CANCEL_CHECK.get()
-    if check is not None:
-        check()
 
 
 def _replay_items(value: Any) -> int:

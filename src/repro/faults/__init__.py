@@ -1,0 +1,25 @@
+"""Deterministic, seeded fault injection for the simulated KV cluster."""
+
+from repro.faults.harness import (
+    CorruptionFaults,
+    CrashWindow,
+    FaultInjector,
+    FaultSchedule,
+    LatencySpike,
+    TransientFaults,
+    clear_faults,
+    flapping_crashes,
+    inject_faults,
+)
+
+__all__ = [
+    "CorruptionFaults",
+    "CrashWindow",
+    "FaultInjector",
+    "FaultSchedule",
+    "LatencySpike",
+    "TransientFaults",
+    "clear_faults",
+    "flapping_crashes",
+    "inject_faults",
+]

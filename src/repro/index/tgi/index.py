@@ -48,7 +48,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.deltas.base import Delta, StaticNode
 from repro.deltas.columnar import ColumnarEventList, decoded_events_total
 from repro.deltas.eventlist import EventList
-from repro.errors import IndexError_, TimeRangeError
+from repro.errors import IndexError_, PartitionUnavailable, TimeRangeError
 from repro.exec import (
     DeltaCache,
     FetchPlan,
@@ -77,6 +77,7 @@ from repro.index.tgi.query import PartialState, dedup_sorted
 from repro.index.tgi.version_chain import VersionChainStore
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import CostModel, FetchStats
+from repro.kvstore.degrade import active_partial, partition_label
 from repro.partitioning.temporal import timespan_boundaries
 from repro.stats.calibrate import calibrate_apply_costs
 from repro.stats.model import (
@@ -118,6 +119,44 @@ def _state_series(tsid: int, pid: int, include_aux: bool) -> Tuple:
 def _snapshot_ckpt_key(tsid: int, t: TimePoint) -> Tuple:
     """Checkpoint key of a whole materialized snapshot graph at ``t``."""
     return ("snapshot", tsid, t)
+
+
+def _degraded_pids(keys, values) -> Set[int]:
+    """Partitions whose rows a degraded fetch dropped from ``values``.
+
+    A partition is never *partially* replayed — if any of its planned
+    rows is missing, the whole partition is dropped (returned here) so a
+    stale base is never patched with a subset of its events.  Inside an
+    authorized partial scope the drops are recorded on the collector;
+    without one this raises a typed :class:`PartitionUnavailable` (a
+    degraded batchmate must not silently lose data)."""
+    missing = [key for key in keys if key not in values]
+    if not missing:
+        return set()
+    labels = sorted({partition_label(key) for key in missing})
+    collector = active_partial()
+    if collector is None:
+        raise PartitionUnavailable(
+            "rows unavailable for partitions: " + ", ".join(labels),
+            partitions=labels,
+            keys=tuple(missing),
+        )
+    for key in missing:
+        collector.drop_key(key)
+    return {key[3] for key in missing}
+
+
+def _missing_chain(node) -> None:
+    """A node's version-chain row was dropped by a degraded fetch:
+    record it (inside a partial scope) or raise typed."""
+    label = f"vc:{node}"
+    collector = active_partial()
+    if collector is None:
+        raise PartitionUnavailable(
+            f"version chain unavailable for node {node!r}",
+            partitions=(label,),
+        )
+    collector.add_partition(label)
 
 
 class TGI(HistoricalGraphIndex):
@@ -474,7 +513,10 @@ class TGI(HistoricalGraphIndex):
                 )
 
                 def finalize_near(values: Dict[DeltaKey, object]) -> Graph:
-                    elists = [values[key] for key in gap_keys]
+                    bad = _degraded_pids(gap_keys, values)
+                    elists = [
+                        values[key] for key in gap_keys if key[3] not in bad
+                    ]
                     if all(isinstance(el, ColumnarEventList) for el in elists):
                         g0.apply_columnar(elists, until=t, after=t0)
                     else:
@@ -482,7 +524,10 @@ class TGI(HistoricalGraphIndex):
                             ev for el in elists
                             for ev in el if t0 < ev.time <= t
                         ))
-                    self._admit_snapshot(span, t, g0)
+                    if not bad:
+                        # a degraded snapshot must never seed later
+                        # fault-free queries from the checkpoint cache
+                        self._admit_snapshot(span, t, g0)
                     return g0
 
                 return plan, finalize_near, ckpt
@@ -492,12 +537,19 @@ class TGI(HistoricalGraphIndex):
         plan.stages.append(stage)
 
         def finalize_cold(values: Dict[DeltaKey, object]) -> Graph:
+            bad = _degraded_pids(
+                [key for group in path_groups for key in group]
+                + list(ekeys),
+                values,
+            )
             acc = Delta()
             for group in path_groups:
                 for key in group:
+                    if key[3] in bad:
+                        continue
                     acc = acc + values[key]
             g = acc.to_graph()
-            elists = [values[key] for key in ekeys]
+            elists = [values[key] for key in ekeys if key[3] not in bad]
             if all(isinstance(el, ColumnarEventList) for el in elists):
                 # bulk replay off the packed columns (dedups replicated
                 # copies by seq, bounds by time via bisection)
@@ -506,7 +558,10 @@ class TGI(HistoricalGraphIndex):
                 g.apply_events(dedup_sorted(
                     ev for el in elists for ev in el if ev.time <= t
                 ))
-            self._admit_snapshot(span, t, g)
+            if not bad:
+                # a degraded snapshot must never seed later fault-free
+                # queries from the checkpoint cache
+                self._admit_snapshot(span, t, g)
             return g
 
         return plan, finalize_cold, ckpt
@@ -621,15 +676,20 @@ class TGI(HistoricalGraphIndex):
         include_aux: bool,
         values: Dict[DeltaKey, object],
         plan: Optional[Tuple[List[List[DeltaKey]], List[DeltaKey]]] = None,
-    ) -> PartialState:
+    ) -> Optional[PartialState]:
         """Replay one partition's state at ``t`` from fetched rows (pure
         compute — no checkpoint admission, so it is safe on a worker
         thread).  ``plan`` takes the partition's already-computed
         ``(path_groups, ekeys)`` when the caller has them, avoiding a
-        second tree-path walk."""
+        second tree-path walk.  Returns ``None`` when a degraded fetch
+        dropped any of the partition's rows (the whole partition is
+        unavailable — never a partial replay)."""
         path_groups, ekeys = plan if plan is not None else (
             self._snapshot_plan(span, t, pids={pid}, include_aux=include_aux)
         )
+        all_keys = [key for group in path_groups for key in group] + list(ekeys)
+        if _degraded_pids(all_keys, values):
+            return None
         state = PartialState(
             scope=self._pid_scope(span, {pid}, include_aux)
         )
@@ -699,7 +759,7 @@ class TGI(HistoricalGraphIndex):
         if not pids:
             return []
 
-        def compute(pid: int) -> PartialState:
+        def compute(pid: int) -> Optional[PartialState]:
             entry = near.get(pid)
             if entry is not None:
                 payload0, t0, gap_keys = entry
@@ -712,12 +772,25 @@ class TGI(HistoricalGraphIndex):
             )
 
         if self.config.apply_workers > 1 and len(pids) > 1:
-            states = list(self._pool().map(compute, pids))
+            # worker threads do not inherit this thread's contextvars, so
+            # each task runs in a fresh copy of the caller's context —
+            # the degraded-mode collector (and any cancel scope checked
+            # downstream) stays visible on the pool
+            import contextvars as _cv
+
+            tasks = [(pid, _cv.copy_context()) for pid in pids]
+            states = list(
+                self._pool().map(lambda pc: pc[1].run(compute, pc[0]), tasks)
+            )
         else:
             states = [compute(pid) for pid in pids]
+        out: List[Tuple[int, PartialState]] = []
         for pid, state in zip(pids, states):
+            if state is None:
+                continue  # degraded: whole partition dropped
             self._admit_state(span, pid, t, include_aux, state)
-        return list(zip(pids, states))
+            out.append((pid, state))
+        return out
 
     # ------------------------------------------------------------------
     # nearest-in-time checkpoint seeding
@@ -851,14 +924,18 @@ class TGI(HistoricalGraphIndex):
         t0: TimePoint,
         gap_keys: Sequence[DeltaKey],
         values: Dict[DeltaKey, object],
-    ) -> PartialState:
+    ) -> Optional[PartialState]:
         """Advance a checkpointed partition state from ``t0`` to ``t`` by
         replaying only the gap eventlists (pure compute — no checkpoint
         admission, so it is safe on a worker thread).
         Exact for the same reason cold per-partition replay is: the build
         writes every event into the eventlist of each partition it
         touches, so the gap rows carry everything that moved this
-        partition between the two times."""
+        partition between the two times.  Returns ``None`` when a
+        degraded fetch dropped any gap row — a stale seed must not pose
+        as the state at ``t``."""
+        if _degraded_pids(gap_keys, values):
+            return None
         nodes, edge_attrs = payload  # already a private copy (lookup clones)
         state = PartialState(scope=self._pid_scope(span, {pid}, include_aux))
         state.nodes = nodes
@@ -878,12 +955,13 @@ class TGI(HistoricalGraphIndex):
         t0: TimePoint,
         gap_keys: Sequence[DeltaKey],
         values: Dict[DeltaKey, object],
-    ) -> PartialState:
+    ) -> Optional[PartialState]:
         """:meth:`_seed_state` plus checkpoint admission of the result."""
         state = self._seed_state(
             span, pid, t, include_aux, payload, t0, gap_keys, values
         )
-        self._admit_state(span, pid, t, include_aux, state)
+        if state is not None:
+            self._admit_state(span, pid, t, include_aux, state)
         return state
 
     @staticmethod
@@ -923,11 +1001,20 @@ class TGI(HistoricalGraphIndex):
             plan.stages.append(stage)
             result = self.executor.execute(plan, clients=clients)
             values, stats = result.values, result.stats
+            bad = _degraded_pids(
+                [key for group in path_groups for key in group]
+                + list(ekeys),
+                values,
+            )
             state = PartialState(scope=scope)
             for group in path_groups:
                 for key in group:
+                    if key[3] in bad:
+                        continue
                     state.load_delta(values[key])
-            state.apply_eventlists([values[key] for key in ekeys], until=t)
+            state.apply_eventlists(
+                [values[key] for key in ekeys if key[3] not in bad], until=t
+            )
             return state, scope, stats
 
         state = PartialState(scope=scope)
@@ -1112,7 +1199,10 @@ class TGI(HistoricalGraphIndex):
             pointer_keys: List[DeltaKey] = []
             pseen: Set[DeltaKey] = set()
             for n in chain_nodes:
-                chain = values[version_chain_key(n, ns)]
+                chain = values.get(version_chain_key(n, ns))
+                if chain is None:
+                    _missing_chain(n)
+                    continue
                 for key in self._vc.pointers_in_range(chain, ts, te):
                     if key not in pseen:
                         pseen.add(key)
@@ -1157,6 +1247,14 @@ class TGI(HistoricalGraphIndex):
                 if state is None:
                     # no checkpointing: scoped replay of just the members
                     path_groups, ekeys = pid_plans[pid]
+                    pid_keys = [k for g in path_groups for k in g]
+                    pid_keys.extend(ekeys)
+                    if _degraded_pids(pid_keys, values):
+                        # partition dropped by a degraded fetch: the
+                        # members get no initial state for this window
+                        for node in members:
+                            initial[node] = None
+                        continue
                     state = PartialState(scope=set(members))
                     for group in path_groups:
                         for key in group:
@@ -1167,17 +1265,25 @@ class TGI(HistoricalGraphIndex):
                 for node in members:
                     initial[node] = state.node_state(node)
 
-            chains = {n: values[version_chain_key(n, ns)] for n in chain_nodes}
+            chains = {}
+            for n in chain_nodes:
+                chain = values.get(version_chain_key(n, ns))
+                if chain is None:
+                    _missing_chain(n)
+                    continue
+                chains[n] = chain
             histories: Dict[NodeId, NodeHistory] = {}
             for node in node_pid:
                 changes: List[Event] = []
                 if node in chains:
                     keys = self._vc.pointers_in_range(chains[node], ts, te)
+                    bad = _degraded_pids(keys, values)
                     # filter_by_time bisects; filter_by_id materializes
                     # only the rows touching this node on columnar rows
                     changes = dedup_sorted(
                         ev
                         for key in keys
+                        if key[3] not in bad
                         for ev in values[key]
                         .filter_by_time(ts, te).filter_by_id((node,))
                     )
@@ -1232,6 +1338,15 @@ class TGI(HistoricalGraphIndex):
         if merged.node_state(node) is None:
             total.decoded_events += decoded_events_total() - decoded0
             self.last_fetch_stats = total
+            collector = active_partial()
+            label = f"ts{span.tsid}:p{pid0}"
+            if collector is not None and label in collector.partitions:
+                # the center's own partition was dropped: that is an
+                # availability failure, not a missing node
+                raise PartitionUnavailable(
+                    f"partition of node {node} unavailable at t={t}",
+                    partitions=(label,),
+                )
             raise IndexError_(f"node {node} not alive at t={t}")
 
         members: Set[NodeId] = {node}
@@ -1332,6 +1447,14 @@ class TGI(HistoricalGraphIndex):
         frontier: Dict[NodeId, Set[NodeId]] = {}
         # per center, frontier candidates awaiting the alive-at-t filter
         candidates: Dict[NodeId, Set[NodeId]] = {}
+        # partition labels a degraded fetch dropped during expansion.
+        # Factory stages settle mid-execution — under a *batch* window
+        # scope for coalesced execution — so by finalize time the drop
+        # already happened silently; the plan must carry it forward so
+        # finalize can fail strict requests typed (a k-hop with a lost
+        # frontier partition would otherwise return a smaller graph
+        # with no error) and charge allow_partial ones
+        dropped: Set[str] = set()
         started = [False]
         hop = [0]
 
@@ -1397,20 +1520,32 @@ class TGI(HistoricalGraphIndex):
                     # state is admitted as a checkpoint and near-seeded
                     # partitions advance from their earlier checkpoint
                     # over just the gap eventlists
-                    for _pid, state in self._replay_pids(
+                    replayed = self._replay_pids(
                         span, pids, near, t, include_aux, values
-                    ):
+                    )
+                    for _pid, state in replayed:
                         self._merge_state(
                             merged, state.nodes, state.edge_attrs
                         )
+                    survivors = {pid for pid, _state in replayed}
+                    for pid in (pids | set(near)) - survivors:
+                        dropped.add(f"ts{span.tsid}:p{pid}")
                     covered.update(scope)
                     continue
+                stage_keys = [k for g in path_groups for k in g]
+                stage_keys.extend(ekeys)
+                bad = _degraded_pids(stage_keys, values)
+                for pid in bad:
+                    dropped.add(f"ts{span.tsid}:p{pid}")
                 state = PartialState(scope=scope)
                 for group in path_groups:
                     for key in group:
+                        if key[3] in bad:
+                            continue
                         state.load_delta(values[key])
                 state.apply_eventlists(
-                    [values[key] for key in ekeys], until=t
+                    [values[key] for key in ekeys if key[3] not in bad],
+                    until=t,
                 )
                 covered.update(scope)
                 self._merge_state(merged, state.nodes, state.edge_attrs)
@@ -1460,6 +1595,17 @@ class TGI(HistoricalGraphIndex):
         ) -> List[Optional[Graph]]:
             settle(values)
             self._observe_frontier(k, predicted, len(loaded))
+            if dropped:
+                labels = sorted(dropped)
+                collector = active_partial()
+                if collector is None:
+                    raise PartitionUnavailable(
+                        "k-hop expansion lost partitions: "
+                        + ", ".join(labels),
+                        partitions=labels,
+                    )
+                for label in labels:
+                    collector.add_partition(label)
             graphs = {
                 c: merged.to_graph(members[c]) for c in members
             }

@@ -11,15 +11,36 @@ requests over ``c`` parallel clients, routes each to the least-loaded
 replica, sorts each server's requests in clustering order (contiguous scan
 discount), and returns both the decoded values and a
 :class:`~repro.kvstore.cost.FetchStats` with the simulated completion time.
+
+Two opt-in layers wrap the fetch path without changing default
+accounting:
+
+- a **fault harness** (:mod:`repro.faults`) attached via ``inject_faults``
+  schedules crashes, latency spikes, transient errors, and payload
+  corruption on simulated time (``clock_ms`` + each round's release
+  instant);
+- a **resilience policy** (:meth:`enable_resilience`) turns ``multiget``
+  into a retry loop with exponential backoff, hedged reads against a
+  second replica for straggler rounds, and per-machine circuit breakers
+  that reroute key groups to live replicas — degrading to partial
+  results only inside an authorized ``partial_scope``.
 """
 
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import KeyNotFound, StorageError
+from repro.cancellation import check_cancelled
+from repro.errors import (
+    CorruptPayload,
+    KeyNotFound,
+    PartitionUnavailable,
+    StorageError,
+    TransientFetchError,
+)
 from repro.kvstore.codec import CODECS, EncodedValue, decode, encode
 from repro.kvstore.cost import (
     CostModel,
@@ -28,7 +49,9 @@ from repro.kvstore.cost import (
     RequestRecord,
     simulate_plan,
 )
+from repro.kvstore.degrade import active_partial, partition_label
 from repro.kvstore.node import StorageNode
+from repro.kvstore.resilience import CircuitBreaker, ResiliencePolicy
 
 KeyTuple = Tuple
 
@@ -54,6 +77,11 @@ class ClusterConfig:
     produced by cross-query coalescing — are split into sequential
     chunks, each planned and costed independently (scan contiguity does
     not survive a split, matching a real store's per-request limits).
+
+    ``checksums`` wraps every stored payload in a CRC32 envelope (5
+    bytes per row) verified on decode, so corrupted reads surface as a
+    typed :class:`~repro.errors.CorruptPayload` instead of garbage —
+    required by the fault harness's corruption faults.
     """
 
     num_machines: int = 1
@@ -62,6 +90,7 @@ class ClusterConfig:
     codec: str = "columnar"
     cost_model: CostModel = CostModel()
     max_request_keys: int = 0
+    checksums: bool = False
 
     def __post_init__(self) -> None:
         if self.num_machines < 1:
@@ -89,6 +118,17 @@ class Cluster:
         self.machines = [StorageNode(i) for i in range(self.config.num_machines)]
         self._placement_len: Optional[int] = None
         self._down: set = set()
+        #: Optional :class:`repro.faults.FaultInjector` (see repro.faults).
+        self.faults = None
+        #: Optional :class:`ResiliencePolicy`; ``None`` = plain fetch path.
+        self.resilience: Optional[ResiliencePolicy] = None
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._policy_rng: Optional[random.Random] = None
+        #: Simulated epoch added to every round's release instant when
+        #: evaluating fault windows and breaker cooldowns.  Sequential
+        #: executions always release at ``at=0``, so tests and benches
+        #: advance this clock between queries to move through a schedule.
+        self.clock_ms: float = 0.0
 
     # ------------------------------------------------------------------
     # failure injection
@@ -106,14 +146,74 @@ class Cluster:
         """Bring a failed machine back (its contents were retained)."""
         self._down.discard(machine_id)
 
-    def _live_replicas(self, placement_key: KeyTuple) -> List[int]:
-        live = [m for m in self.replicas_for(placement_key)
-                if m not in self._down]
+    def set_clock(self, ms: float) -> None:
+        """Set the simulated epoch for fault windows / breaker cooldowns."""
+        self.clock_ms = float(ms)
+
+    def advance_clock(self, ms: float) -> None:
+        self.clock_ms += float(ms)
+
+    def _down_at(self, now: float) -> Set[int]:
+        """Machines unavailable at sim-time ``now``: explicit ``_down``
+        plus any scheduled crash window of the fault harness."""
+        down = set(self._down)
+        faults = getattr(self, "faults", None)
+        if faults is not None:
+            down |= faults.down_machines(now)
+        return down
+
+    def _live_replicas(self, placement_key: KeyTuple, now: float = 0.0) -> List[int]:
+        down = self._down_at(now)
+        live = [m for m in self.replicas_for(placement_key) if m not in down]
         if not live:
             raise StorageError(
                 f"all replicas down for placement {placement_key!r}"
             )
         return live
+
+    # ------------------------------------------------------------------
+    # resilience policy
+    # ------------------------------------------------------------------
+    def enable_resilience(
+        self, policy: Optional[ResiliencePolicy] = None
+    ) -> ResiliencePolicy:
+        """Route ``multiget`` through the resilient retry/hedge/breaker
+        path.  Returns the active policy."""
+        self.resilience = policy or ResiliencePolicy()
+        self._breakers = {}
+        self._policy_rng = random.Random(self.resilience.seed)
+        return self.resilience
+
+    def disable_resilience(self) -> None:
+        self.resilience = None
+
+    def _breaker(self, machine_id: int) -> CircuitBreaker:
+        breaker = self._breakers.get(machine_id)
+        if breaker is None:
+            policy = self.resilience
+            breaker = CircuitBreaker(
+                policy.breaker_threshold, policy.breaker_cooldown_ms
+            )
+            self._breakers[machine_id] = breaker
+        return breaker
+
+    def _breaker_allows(self, machine_id: int, now: float) -> bool:
+        breaker = self._breakers.get(machine_id)
+        return True if breaker is None else breaker.allows(now)
+
+    def breaker_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Per-machine breaker state (``/healthz`` payload).  Machines
+        without a recorded outcome report a closed breaker."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for machine_id in range(len(self.machines)):
+            breaker = self._breakers.get(machine_id)
+            if breaker is None:
+                out[str(machine_id)] = {
+                    "state": "closed", "failures": 0, "trips": 0,
+                }
+            else:
+                out[str(machine_id)] = breaker.snapshot()
+        return out
 
     # ------------------------------------------------------------------
     # placement
@@ -146,7 +246,10 @@ class Cluster:
         """
         self._check_placement_len(placement_len)
         encoded = encode(
-            value, compress=self.config.compress, codec=self.config.codec
+            value,
+            compress=self.config.compress,
+            codec=self.config.codec,
+            checksum=getattr(self.config, "checksums", False),
         )
         for machine_id in self.replicas_for(key[:placement_len]):
             if machine_id not in self._down:
@@ -182,16 +285,22 @@ class Cluster:
         """
         if self._placement_len is None:
             raise KeyNotFound(f"empty cluster has no key {key!r}")
-        for machine_id in self._live_replicas(key[: self._placement_len]):
+        now = getattr(self, "clock_ms", 0.0)
+        for machine_id in self._live_replicas(key[: self._placement_len], now):
             node = self.machines[machine_id]
             if key in node:
                 return decode(node.get(key).payload)
         raise KeyNotFound(f"key {key!r} not on any live replica")
 
     def scan_prefix(self, prefix: KeyTuple) -> List[Tuple[KeyTuple, Any]]:
-        """Un-costed prefix scan against the primary replica of ``prefix``.
+        """Un-costed prefix scan across the *live* replicas of ``prefix``.
 
-        ``prefix`` must be at least as long as the placement key.
+        ``prefix`` must be at least as long as the placement key.  Like
+        :meth:`get`, the scan falls back across live replicas instead of
+        trusting the first one: a recovered-but-stale primary would
+        silently return an incomplete scan, so rows from every live
+        replica are unioned (first replica wins per key, in ring order —
+        presence-as-freshness, same as ``get``'s fallback).
         """
         if self._placement_len is None:
             return []
@@ -199,13 +308,17 @@ class Cluster:
             raise StorageError(
                 "scan prefix must include the full placement key"
             )
-        machine_id = self._live_replicas(prefix[: self._placement_len])[0]
-        return [
-            (k, decode(v.payload))
-            for k, v in self.machines[machine_id].scan_prefix(prefix)
-        ]
+        now = getattr(self, "clock_ms", 0.0)
+        rows: Dict[KeyTuple, Any] = {}
+        for machine_id in self._live_replicas(prefix[: self._placement_len], now):
+            for key, value in self.machines[machine_id].scan_prefix(prefix):
+                if key not in rows:
+                    rows[key] = decode(value.payload)
+        return sorted(rows.items())
 
-    def _route(self, keys: Sequence[KeyTuple]) -> Dict[KeyTuple, int]:
+    def _route(
+        self, keys: Sequence[KeyTuple], now: float = 0.0
+    ) -> Dict[KeyTuple, int]:
         """Route every key to its least-loaded live replica *holding the
         key* (greedy balancing -- this is where replication r > 1 buys
         parallelism, Fig. 12c).  A live replica can be stale after
@@ -215,7 +328,7 @@ class Cluster:
         server_load: Dict[int, int] = {i: 0 for i in range(len(self.machines))}
         assignment: Dict[KeyTuple, int] = {}
         for key in keys:
-            replicas = self._live_replicas(key[:plen])
+            replicas = self._live_replicas(key[:plen], now)
             holding = [m for m in replicas if key in self.machines[m]]
             if not holding:
                 raise KeyNotFound(f"key {key!r} not on any live replica")
@@ -225,14 +338,28 @@ class Cluster:
         return assignment
 
     def _plan_requests(
-        self, keys: Sequence[KeyTuple], clients: int, client_offset: int = 0
+        self,
+        keys: Sequence[KeyTuple],
+        clients: int,
+        client_offset: int = 0,
+        now: float = 0.0,
+        assignment: Optional[Dict[KeyTuple, int]] = None,
     ) -> Tuple[List[RequestRecord], Dict[KeyTuple, EncodedValue]]:
         """Route and cost ``keys`` into one multiget round: group per
         server, sort in clustering order for scan contiguity, and price
         each request with the cost model.  Returns the costed records and
-        the encoded rows (not yet decoded)."""
+        the encoded rows (not yet decoded).
+
+        ``assignment`` overrides routing (the resilient path routes
+        around open breakers and previously-failed replicas itself);
+        ``now`` is the simulated instant used for fault evaluation —
+        active latency spikes are added to each request's service time
+        here, so they flow into ``simulate_plan`` and the timeline.
+        """
         model = self.config.cost_model
-        assignment = self._route(keys)
+        faults = getattr(self, "faults", None)
+        if assignment is None:
+            assignment = self._route(keys, now)
         per_server: Dict[int, List[KeyTuple]] = {}
         for key in keys:
             per_server.setdefault(assignment[key], []).append(key)
@@ -243,6 +370,10 @@ class Cluster:
         for server_id, server_keys in sorted(per_server.items()):
             server_keys.sort()
             node = self.machines[server_id]
+            spike_ms = (
+                faults.extra_latency_ms(server_id, now)
+                if faults is not None else 0.0
+            )
             prev_rank: Optional[int] = None
             for key in server_keys:
                 encoded = node.get(key)
@@ -254,7 +385,7 @@ class Cluster:
                     encoded.raw_size,
                     contiguous,
                     encoded.compressed,
-                )
+                ) + spike_ms
                 records.append(
                     RequestRecord(
                         key=key,
@@ -311,6 +442,10 @@ class Cluster:
         concurrent plans model independent async client contexts instead of
         queueing on one shared fetcher (a constant shift never changes the
         round's standalone cost).
+
+        With a resilience policy enabled (:meth:`enable_resilience`) each
+        round runs through the retry/hedge/breaker loop instead; see
+        :meth:`_resilient_round`.
         """
         if clients < 1:
             raise StorageError("need at least one fetch client")
@@ -319,15 +454,30 @@ class Cluster:
                 raise KeyNotFound(f"empty cluster has no key {keys[0]!r}")
             return {}, FetchStats()
 
+        if getattr(self, "resilience", None) is not None:
+            return self._resilient_multiget(
+                keys, clients, timeline, at, client_offset
+            )
+
+        base = getattr(self, "clock_ms", 0.0)
         limit = self.config.max_request_keys
         if not limit or len(keys) <= limit:
+            now = base + at
             records, encoded_rows = self._plan_requests(
-                keys, clients, client_offset
+                keys, clients, client_offset, now=now
             )
-            values = {
-                key: decode(encoded.payload)
-                for key, encoded in encoded_rows.items()
-            }
+            self._raise_transients(records, now)
+            if getattr(self, "faults", None) is None:
+                values = {
+                    key: decode(encoded.payload)
+                    for key, encoded in encoded_rows.items()
+                }
+            else:
+                server_of = {r.key: r.server for r in records}
+                values = {
+                    key: self._decode_row(encoded, server_of[key], now)
+                    for key, encoded in encoded_rows.items()
+                }
             stats = FetchStats(requests=records, rounds=1 if keys else 0)
             stats.sim_time_ms = simulate_plan(records, self.config.cost_model)
             if timeline is not None and records:
@@ -344,11 +494,14 @@ class Cluster:
         release = at
         for start in range(0, len(keys), limit):
             chunk = keys[start:start + limit]
+            now = base + release
             records, encoded_rows = self._plan_requests(
-                chunk, clients, client_offset
+                chunk, clients, client_offset, now=now
             )
+            self._raise_transients(records, now)
+            server_of = {r.key: r.server for r in records}
             for key, encoded in encoded_rows.items():
-                values[key] = decode(encoded.payload)
+                values[key] = self._decode_row(encoded, server_of[key], now)
             chunk_ms = simulate_plan(records, self.config.cost_model)
             stats.requests.extend(records)
             stats.rounds += 1
@@ -359,6 +512,284 @@ class Cluster:
             else:
                 release += chunk_ms
         return values, stats
+
+    # ------------------------------------------------------------------
+    # fault plumbing (plain path)
+    # ------------------------------------------------------------------
+    def _raise_transients(self, records: Sequence[RequestRecord], now: float) -> None:
+        """Plain-path handling of injected transient errors: the whole
+        round fails with a typed, retryable error (the resilient path
+        retries these instead)."""
+        faults = getattr(self, "faults", None)
+        if faults is None or not records:
+            return
+        failed = faults.transient_failures({r.server for r in records}, now)
+        if failed:
+            raise TransientFetchError(
+                f"transient fetch failure on machines {sorted(failed)}",
+                machines=sorted(failed),
+            )
+
+    def _decode_row(self, encoded: EncodedValue, server: int, now: float) -> Any:
+        """Decode one fetched row, applying any scheduled corruption for
+        the serving machine first (detected via the checksum envelope and
+        raised as :class:`CorruptPayload`)."""
+        faults = getattr(self, "faults", None)
+        payload = encoded.payload
+        if faults is not None and faults.corrupts(server, now):
+            payload = payload[:-1] + bytes([payload[-1] ^ 0xFF])
+        return decode(payload)
+
+    # ------------------------------------------------------------------
+    # resilient fetch path
+    # ------------------------------------------------------------------
+    def _resilient_multiget(
+        self,
+        keys: Sequence[KeyTuple],
+        clients: int,
+        timeline: Optional[ExecutionTimeline],
+        at: float,
+        client_offset: int,
+    ) -> Tuple[Dict[KeyTuple, Any], FetchStats]:
+        """Chunking wrapper around :meth:`_resilient_round` (mirrors the
+        plain path's ``max_request_keys`` split)."""
+        values: Dict[KeyTuple, Any] = {}
+        stats = FetchStats()
+        limit = self.config.max_request_keys
+        key_list = list(keys)
+        release = at
+        if not limit or len(key_list) <= limit:
+            chunks = [key_list] if key_list else []
+        else:
+            chunks = [
+                key_list[start:start + limit]
+                for start in range(0, len(key_list), limit)
+            ]
+        for chunk in chunks:
+            release = self._resilient_round(
+                chunk, clients, timeline, release, client_offset, values, stats
+            )
+        return values, stats
+
+    def _resilient_round(
+        self,
+        round_keys: Sequence[KeyTuple],
+        clients: int,
+        timeline: Optional[ExecutionTimeline],
+        at: float,
+        client_offset: int,
+        out_values: Dict[KeyTuple, Any],
+        stats: FetchStats,
+    ) -> float:
+        """One logical round under the resilience policy.
+
+        Attempts are planned against breaker-admitted live replicas,
+        hedged when one server dominates, and retried with backoff
+        (charged in sim-ms) until every key decoded, the policy's
+        ``max_attempts`` ran out, or the request's cancel scope raised.
+        Keys that stay unavailable degrade (inside a ``partial_scope``)
+        or raise a typed :class:`PartitionUnavailable`.  Returns the
+        timeline release instant for the next round.
+        """
+        policy = self.resilience
+        faults = getattr(self, "faults", None)
+        model = self.config.cost_model
+        rng = self._policy_rng
+        plen = self._placement_len
+        base = getattr(self, "clock_ms", 0.0)
+        release = at
+        now = base + at
+        remaining: List[KeyTuple] = list(round_keys)
+        #: machines that already failed each key this round (transient
+        #: error or corrupt payload) — avoided on retry when possible.
+        avoid: Dict[KeyTuple, Set[int]] = {}
+        for attempt in range(policy.max_attempts):
+            check_cancelled()
+            assignment, blocked = self._route_resilient(remaining, now, avoid)
+            failed: List[KeyTuple] = []
+            if assignment:
+                keys_now = list(assignment)
+                records, encoded_rows = self._plan_requests(
+                    keys_now, clients, client_offset,
+                    now=now, assignment=assignment,
+                )
+                records, hedged = self._maybe_hedge(
+                    records, assignment, keys_now, clients, client_offset, now
+                )
+                stats.hedges += hedged
+                servers = sorted({r.server for r in records})
+                failed_machines = (
+                    faults.transient_failures(servers, now)
+                    if faults is not None else set()
+                )
+                for server in servers:
+                    breaker = self._breaker(server)
+                    if server in failed_machines:
+                        stats.breaker_trips += breaker.record_failure(now)
+                    else:
+                        breaker.record_success(now)
+                ok_records: List[RequestRecord] = []
+                for record in records:
+                    if record.server in failed_machines:
+                        failed.append(record.key)
+                        avoid.setdefault(record.key, set()).add(record.server)
+                        continue
+                    try:
+                        out_values[record.key] = self._decode_row(
+                            encoded_rows[record.key], record.server, now
+                        )
+                    except CorruptPayload:
+                        failed.append(record.key)
+                        avoid.setdefault(record.key, set()).add(record.server)
+                        continue
+                    ok_records.append(record)
+                # The whole attempt (including requests that failed) is
+                # charged on the clock/timeline — the work was issued —
+                # but only fetched keys enter ``stats.requests`` so the
+                # executor's per-record apply/cache loops stay aligned
+                # with ``values``.
+                round_ms = simulate_plan(records, model)
+                stats.requests.extend(ok_records)
+                stats.rounds += 1
+                stats.sim_time_ms += round_ms
+                if timeline is not None and records:
+                    timing = timeline.submit(records, at=release)
+                    release = timing.completed_ms
+                else:
+                    release += round_ms
+                now = base + release
+            remaining = failed + blocked
+            if not remaining:
+                return release
+            if attempt + 1 >= policy.max_attempts:
+                break
+            stats.retries += len(remaining)
+            delay = policy.backoff_ms(attempt, rng)
+            stats.backoff_ms += delay
+            stats.sim_time_ms += delay
+            release += delay
+            now = base + release
+        # Retries exhausted: degrade if authorized, else raise typed.
+        labels = sorted({partition_label(key) for key in remaining})
+        collector = active_partial()
+        if collector is None:
+            raise PartitionUnavailable(
+                f"{len(remaining)} keys unavailable after "
+                f"{policy.max_attempts} attempts "
+                f"(partitions: {', '.join(labels)})",
+                partitions=labels,
+                keys=tuple(remaining),
+            )
+        for key in remaining:
+            collector.drop_key(key)
+        stats.degraded_keys += len(remaining)
+        for label in labels:
+            if label not in stats.degraded_partitions:
+                stats.degraded_partitions.append(label)
+        return release
+
+    def _route_resilient(
+        self,
+        keys: Sequence[KeyTuple],
+        now: float,
+        avoid: Dict[KeyTuple, Set[int]],
+    ) -> Tuple[Dict[KeyTuple, int], List[KeyTuple]]:
+        """Route ``keys`` to breaker-admitted live replicas.
+
+        Returns ``(assignment, blocked)`` where ``blocked`` keys have no
+        usable replica *right now* (crashed or breaker-open) and wait for
+        the next attempt.  A key that is simply absent from fully-live
+        replicas still raises :class:`KeyNotFound` — degradation must not
+        mask genuinely missing keys.
+        """
+        plen = self._placement_len
+        down = self._down_at(now)
+        load: Dict[int, int] = {}
+        assignment: Dict[KeyTuple, int] = {}
+        blocked: List[KeyTuple] = []
+        for key in keys:
+            all_replicas = self.replicas_for(key[:plen])
+            live = [m for m in all_replicas if m not in down]
+            holding = [m for m in live if key in self.machines[m]]
+            if not holding:
+                if live and len(live) == len(all_replicas):
+                    raise KeyNotFound(
+                        f"key {key!r} not on any live replica"
+                    )
+                blocked.append(key)
+                continue
+            usable = [m for m in holding if self._breaker_allows(m, now)]
+            if not usable:
+                blocked.append(key)
+                continue
+            preferred = [
+                m for m in usable if m not in avoid.get(key, ())
+            ] or usable
+            best = min(preferred, key=lambda mid: load.get(mid, 0))
+            assignment[key] = best
+            load[best] = load.get(best, 0) + 1
+        return assignment, blocked
+
+    def _maybe_hedge(
+        self,
+        records: List[RequestRecord],
+        assignment: Dict[KeyTuple, int],
+        keys_now: List[KeyTuple],
+        clients: int,
+        client_offset: int,
+        now: float,
+    ) -> Tuple[List[RequestRecord], int]:
+        """Hedge a straggler server's key group against a second replica.
+
+        When one server's planned busy time is >= ``hedge_factor`` times
+        every other server's (and >= ``hedge_min_ms``), the round is
+        re-planned with that group moved to alternate live replicas and
+        the cheaper variant wins.  Returns the records to issue and the
+        number of hedged (duplicated) requests — the losing copies are
+        abandoned, a deliberate simplification of real hedged reads where
+        the slow replies are discarded on arrival.
+        """
+        policy = self.resilience
+        if not policy.hedge:
+            return records, 0
+        busy: Dict[int, float] = {}
+        for record in records:
+            busy[record.server] = busy.get(record.server, 0.0) + record.service_ms
+        if len(busy) < 2:
+            return records, 0
+        straggler = max(busy, key=lambda s: busy[s])
+        rest = max(v for s, v in busy.items() if s != straggler)
+        if busy[straggler] < policy.hedge_min_ms:
+            return records, 0
+        if busy[straggler] < policy.hedge_factor * max(rest, 1e-9):
+            return records, 0
+        down = self._down_at(now)
+        plen = self._placement_len
+        alt_assignment = dict(assignment)
+        moved = 0
+        for key, server in assignment.items():
+            if server != straggler:
+                continue
+            alternates = [
+                m
+                for m in self.replicas_for(key[:plen])
+                if m != straggler and m not in down
+                and key in self.machines[m]
+                and self._breaker_allows(m, now)
+            ]
+            if not alternates:
+                return records, 0  # can't cover the whole straggler group
+            alt_assignment[key] = alternates[0]
+            moved += 1
+        if not moved:
+            return records, 0
+        alt_records, _ = self._plan_requests(
+            keys_now, clients, client_offset, now=now, assignment=alt_assignment
+        )
+        model = self.config.cost_model
+        if simulate_plan(alt_records, model) < simulate_plan(records, model):
+            return alt_records, moved
+        return records, moved
 
     # ------------------------------------------------------------------
     # introspection

@@ -24,14 +24,20 @@ from typing import Any
 
 from repro.deltas.columnar import ColumnarEventList, pack_eventlist
 from repro.deltas.eventlist import EventList
+from repro.errors import CorruptPayload
 
 #: Magic prefixes distinguish the stored forms so a store can hold a mix
 #: (e.g. after changing the config between builds): raw / zlib pickle,
-#: raw / zlib columnar.
+#: raw / zlib columnar, checksummed wrapper.
 _RAW = b"R"
 _ZIP = b"Z"
 _COL = b"C"
 _COLZ = b"c"
+#: Checksummed wrapper: ``K`` + 4-byte big-endian CRC32 of the inner
+#: payload + the inner payload (itself a normal tagged value).  Lets a
+#: store detect bit-rot / corrupted reads (``ClusterConfig.checksums``)
+#: at a 5-byte-per-row cost, raised as :class:`CorruptPayload`.
+_CRC = b"K"
 
 #: Codec names accepted by :func:`encode` / ``ClusterConfig.codec``.
 CODECS = ("pickle", "columnar")
@@ -48,15 +54,23 @@ class EncodedValue:
 
 
 def encode(
-    obj: Any, compress: bool = False, level: int = 6, codec: str = "pickle"
+    obj: Any,
+    compress: bool = False,
+    level: int = 6,
+    codec: str = "pickle",
+    checksum: bool = False,
 ) -> EncodedValue:
     """Serialize ``obj``; optionally zlib-compress the stream.
 
     With ``codec="columnar"``, eventlists that fit the packed layout are
-    stored as parallel arrays; all other values pickle as before.
+    stored as parallel arrays; all other values pickle as before.  With
+    ``checksum=True`` the tagged payload is wrapped in a CRC32 envelope
+    (tag ``K``) that :func:`decode` verifies, raising
+    :class:`CorruptPayload` on mismatch.
     """
     if codec not in CODECS:
         raise ValueError(f"unknown codec {codec!r} (expected one of {CODECS})")
+    encoded = None
     if codec == "columnar":
         body = None
         if isinstance(obj, ColumnarEventList):
@@ -66,15 +80,25 @@ def encode(
         if body is not None:
             if compress:
                 packed = _COLZ + zlib.compress(body, level)
-                return EncodedValue(packed, len(body), len(packed), True)
-            packed = _COL + body
-            return EncodedValue(packed, len(body), len(packed), False)
-    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-    if compress:
-        packed = _ZIP + zlib.compress(raw, level)
-        return EncodedValue(packed, len(raw), len(packed), True)
-    packed = _RAW + raw
-    return EncodedValue(packed, len(raw), len(packed), False)
+                encoded = EncodedValue(packed, len(body), len(packed), True)
+            else:
+                packed = _COL + body
+                encoded = EncodedValue(packed, len(body), len(packed), False)
+    if encoded is None:
+        raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if compress:
+            packed = _ZIP + zlib.compress(raw, level)
+            encoded = EncodedValue(packed, len(raw), len(packed), True)
+        else:
+            packed = _RAW + raw
+            encoded = EncodedValue(packed, len(raw), len(packed), False)
+    if not checksum:
+        return encoded
+    inner = encoded.payload
+    wrapped = _CRC + (zlib.crc32(inner) & 0xFFFFFFFF).to_bytes(4, "big") + inner
+    return EncodedValue(
+        wrapped, encoded.raw_size, len(wrapped), encoded.compressed
+    )
 
 
 def decode(payload: bytes) -> Any:
@@ -86,9 +110,22 @@ def decode(payload: bytes) -> Any:
     if not payload:
         raise ValueError(
             "empty payload: a stored value always starts with a codec "
-            "tag byte (R/Z pickle, C/c columnar)"
+            "tag byte (R/Z pickle, C/c columnar, K checksummed)"
         )
     tag = payload[:1]
+    if tag == _CRC:
+        if len(payload) < 5:
+            raise CorruptPayload("truncated checksummed payload")
+        inner = payload[5:]
+        expect = int.from_bytes(payload[1:5], "big")
+        if (zlib.crc32(inner) & 0xFFFFFFFF) != expect:
+            raise CorruptPayload(
+                "payload checksum mismatch: stored row corrupted in flight "
+                "or at rest"
+            )
+        if inner[:1] == _CRC:
+            raise CorruptPayload("nested checksum envelope")
+        return decode(inner)
     if tag == _COL:
         # zero-copy: the view windows the payload bytes directly
         return ColumnarEventList(memoryview(payload)[1:])

@@ -207,6 +207,21 @@ class FetchStats:
         merged_rounds: multiget rounds this fetch shared with at least
             one other plan (machine-level round merging); always
             ``<= rounds``.
+        retries: key requests re-issued by the resilient fetch path after
+            a transient failure, corrupt payload, or blocked routing
+            (0 without a resilience policy).
+        hedges: duplicated straggler requests issued to a second replica
+            by hedged reads (both copies of a hedged key count here; only
+            the winning copy appears in ``requests``).
+        breaker_trips: circuit-breaker open transitions recorded while
+            serving this fetch.
+        backoff_ms: simulated delay the retry loop charged between
+            attempts (already included in ``sim_time_ms``).
+        degraded_keys: keys the resilient path gave up on inside an
+            authorized partial scope (the values are absent from the
+            result).
+        degraded_partitions: human-readable labels of the partitions
+            those keys belong to.
     """
 
     requests: List[RequestRecord] = field(default_factory=list)
@@ -224,6 +239,12 @@ class FetchStats:
     coalesced_hits: int = 0
     coalesced_bytes_saved: int = 0
     merged_rounds: int = 0
+    retries: int = 0
+    hedges: int = 0
+    breaker_trips: int = 0
+    backoff_ms: float = 0.0
+    degraded_keys: int = 0
+    degraded_partitions: List[str] = field(default_factory=list)
 
     @property
     def num_requests(self) -> int:
@@ -254,6 +275,14 @@ class FetchStats:
         self.coalesced_hits += other.coalesced_hits
         self.coalesced_bytes_saved += other.coalesced_bytes_saved
         self.merged_rounds += other.merged_rounds
+        self.retries += other.retries
+        self.hedges += other.hedges
+        self.breaker_trips += other.breaker_trips
+        self.backoff_ms += other.backoff_ms
+        self.degraded_keys += other.degraded_keys
+        for label in other.degraded_partitions:
+            if label not in self.degraded_partitions:
+                self.degraded_partitions.append(label)
 
     def merge_concurrent(
         self, other: "FetchStats", completed_at_ms: float

@@ -1,0 +1,139 @@
+"""Resilience policy and per-machine circuit breakers for the fetch path.
+
+The policy is opt-in (``Cluster.enable_resilience``) so the default
+fetch accounting stays bit-identical to the plain path.  With a policy
+active, ``Cluster.multiget`` routes each round through a retry loop:
+
+- per-machine **retry with exponential backoff + jitter**, the delay
+  charged in simulated milliseconds so sim-ms stays honest (a retried
+  round completes later on the :class:`ExecutionTimeline`);
+- **hedged reads**: when one server's busy time dominates a round, the
+  straggler's key group is also planned against a second live replica
+  and the faster variant wins (both issues are counted in
+  ``FetchStats.hedges``);
+- per-machine **circuit breakers** (closed → open → half-open with a
+  probe): after ``breaker_threshold`` consecutive failures a machine's
+  breaker opens and routing avoids it until ``breaker_cooldown_ms`` of
+  simulated time has passed, at which point the next round probes it —
+  success closes the breaker, failure re-opens it.
+
+All randomness (jitter) draws from a ``random.Random(seed)`` owned by
+the cluster, so a fixed fault schedule replays identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.errors import StorageError
+
+#: Breaker states, reported verbatim in ``/healthz``.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Knobs for the resilient multiget path.
+
+    ``max_attempts`` bounds the retry loop per round (the request's
+    ``deadline_ms`` bounds it cooperatively from outside via the
+    cancellation scope).  Backoff before attempt ``n`` (1-based retry)
+    is ``backoff_base_ms * backoff_multiplier**(n-1)``, scaled by a
+    uniform jitter in ``[1-backoff_jitter, 1+backoff_jitter]``.
+
+    Hedging fires when one server's planned busy time is at least
+    ``hedge_factor`` times every other server's and at least
+    ``hedge_min_ms``; the losing variant is abandoned (its issue is
+    still counted in ``FetchStats.hedges``).
+    """
+
+    max_attempts: int = 4
+    backoff_base_ms: float = 4.0
+    backoff_multiplier: float = 2.0
+    backoff_jitter: float = 0.25
+    hedge: bool = True
+    hedge_factor: float = 2.0
+    hedge_min_ms: float = 2.0
+    breaker_threshold: int = 3
+    breaker_cooldown_ms: float = 200.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise StorageError("max_attempts must be >= 1")
+        if self.backoff_base_ms < 0 or self.backoff_multiplier < 1:
+            raise StorageError("invalid backoff configuration")
+        if not 0 <= self.backoff_jitter < 1:
+            raise StorageError("backoff_jitter must be in [0, 1)")
+        if self.hedge_factor < 1 or self.hedge_min_ms < 0:
+            raise StorageError("invalid hedge configuration")
+        if self.breaker_threshold < 1 or self.breaker_cooldown_ms < 0:
+            raise StorageError("invalid breaker configuration")
+
+    def backoff_ms(self, attempt: int, rng) -> float:
+        """Delay charged before retry number ``attempt`` (0-based)."""
+        delay = self.backoff_base_ms * (self.backoff_multiplier ** attempt)
+        if self.backoff_jitter:
+            delay *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return delay
+
+
+class CircuitBreaker:
+    """Per-machine closed/open/half-open breaker on simulated time.
+
+    Not internally locked: the simulated clock is only monotonic within
+    one execution, and concurrent service threads may observe slightly
+    stale states — acceptable for a routing hint (every transition is a
+    single attribute write).
+    """
+
+    def __init__(self, threshold: int, cooldown_ms: float) -> None:
+        self.threshold = threshold
+        self.cooldown_ms = cooldown_ms
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        self.trips = 0
+
+    def allows(self, now: float) -> bool:
+        """Whether routing may target this machine at sim-time ``now``.
+
+        An open breaker whose cooldown elapsed transitions to half-open
+        and admits the caller as its probe.
+        """
+        if self.state == OPEN:
+            if now - self.opened_at >= self.cooldown_ms:
+                self.state = HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self, now: float) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, now: float) -> int:
+        """Record a failed round; returns 1 if this tripped the breaker."""
+        if self.state == HALF_OPEN:
+            # failed probe: straight back to open, fresh cooldown
+            self.state = OPEN
+            self.opened_at = now
+            self.trips += 1
+            return 1
+        self.failures += 1
+        if self.state != OPEN and self.failures >= self.threshold:
+            self.state = OPEN
+            self.opened_at = now
+            self.trips += 1
+            return 1
+        return 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+        }

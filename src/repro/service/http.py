@@ -281,6 +281,16 @@ class QueryService:
                 status, payload = 200, {
                     "status": "draining" if self.draining else "ok"
                 }
+                # when the cluster runs a resilience policy, liveness
+                # also reports per-machine circuit-breaker state so
+                # operators see which replicas are being routed around
+                cluster = getattr(
+                    getattr(self.session, "tgi", None), "cluster", None
+                )
+                if cluster is not None and (
+                    getattr(cluster, "resilience", None) is not None
+                ):
+                    payload["breakers"] = cluster.breaker_snapshot()
             elif method == "GET" and path == "/metrics":
                 status, payload = 200, self.metrics.snapshot()
             elif method == "POST" and path == "/query":

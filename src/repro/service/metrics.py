@@ -115,6 +115,11 @@ class ServiceMetrics:
         self.checkpoint_hits = 0
         self.checkpoint_misses = 0
         self.checkpoint_near_hits = 0
+        self.retries = 0
+        self.hedges = 0
+        self.breaker_trips = 0
+        self.degraded_queries = 0
+        self.degraded_keys = 0
         #: wall time from HTTP admission to response write
         self.service_latency = LatencyHistogram()
         #: wall time the thread pool spent inside ``execute_batch``
@@ -166,6 +171,13 @@ class ServiceMetrics:
             self.checkpoint_hits += stats.checkpoint_hits
             self.checkpoint_misses += stats.checkpoint_misses
             self.checkpoint_near_hits += stats.checkpoint_near_hits
+            self.retries += getattr(stats, "retries", 0)
+            self.hedges += getattr(stats, "hedges", 0)
+            self.breaker_trips += getattr(stats, "breaker_trips", 0)
+            degraded_keys = getattr(stats, "degraded_keys", 0)
+            if degraded_keys or getattr(stats, "degraded_partitions", ()):
+                self.degraded_queries += 1
+                self.degraded_keys += degraded_keys
 
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -229,6 +241,13 @@ class ServiceMetrics:
                         )
                         if ckpt_lookups else None
                     ),
+                },
+                "resilience": {
+                    "retries": self.retries,
+                    "hedges": self.hedges,
+                    "breaker_trips": self.breaker_trips,
+                    "degraded_queries": self.degraded_queries,
+                    "degraded_keys": self.degraded_keys,
                 },
                 "latency": {
                     "service_ms": self.service_latency.as_dict(),

@@ -68,7 +68,7 @@ from repro.api import (
     QueryStats,
 )
 from repro.deltas.columnar import decoded_events_total
-from repro.errors import IndexError_, QueryError
+from repro.errors import IndexError_, QueryError, StorageError
 from repro.exec import (
     DeltaCache,
     PlanExecutor,
@@ -79,6 +79,7 @@ from repro.exec import (
 from repro.graph.static import Graph
 from repro.index.tgi import TGI, TGIPlanner, price_plan
 from repro.kvstore.cost import ExecutionTimeline, FetchStats
+from repro.kvstore.degrade import PartialCollector, partial_scope
 from repro.spark.rdd import SparkContext
 from repro.storage import load_index
 from repro.taf.handler import TGIHandler
@@ -426,6 +427,26 @@ class GraphSession:
     # ------------------------------------------------------------------
     # request pricing
     # ------------------------------------------------------------------
+    def _safe_price(
+        self, plan_or_keys, clients: int,
+        shared_keys: Optional[Set] = None,
+    ) -> Optional[float]:
+        """Price a plan, or ``None`` when the cluster cannot route it.
+
+        Pricing walks every replica set; with machines crashed (fault
+        injection, real failover) a placement may have no live replica
+        and :meth:`Cluster.plan_records` raises.  That must not kill the
+        query at plan time — the resilient fetch path decides at fetch
+        time whether the key recovers, reroutes, or degrades — so dead
+        placements simply make the candidate unpriceable."""
+        try:
+            return price_plan(
+                self.tgi.cluster, plan_or_keys, clients=clients,
+                shared_keys=shared_keys,
+            )
+        except StorageError:
+            return None
+
     def _khop_candidates(
         self, request: QueryRequest,
         shared_keys: Optional[Set] = None,
@@ -441,31 +462,32 @@ class GraphSession:
         already-chosen concurrent plan will fetch anyway price at zero."""
         assert request.t is not None
         clients = request.clients
+        candidates: Dict[str, float] = {}
+        notes: Dict[str, List[str]] = {}
         snap_plan = self.planner.plan_snapshot(request.t)
-        candidates: Dict[str, float] = {
-            ALGO_SNAPSHOT_FIRST: price_plan(
-                self.tgi.cluster, snap_plan, clients=clients,
-                shared_keys=shared_keys,
-            )
-        }
-        notes: Dict[str, List[str]] = {
-            ALGO_SNAPSHOT_FIRST: list(snap_plan.notes)
-        }
+        snap_price = self._safe_price(
+            snap_plan, clients, shared_keys=shared_keys
+        )
+        if snap_price is not None:
+            candidates[ALGO_SNAPSHOT_FIRST] = snap_price
+            notes[ALGO_SNAPSHOT_FIRST] = list(snap_plan.notes)
         per_center = 0.0
         union_keys: List = []
         union_seen = set()
         khop_notes: List[str] = []
         plannable = False
+        priceable = True
         for center in dict.fromkeys(request.nodes):
             try:
                 sub = self.planner.plan_khop(center, request.t, k=request.k)
             except IndexError_:
                 continue
             plannable = True
-            per_center += price_plan(
-                self.tgi.cluster, sub, clients=clients,
-                shared_keys=shared_keys,
-            )
+            sub_price = self._safe_price(sub, clients, shared_keys=shared_keys)
+            if sub_price is None:
+                priceable = False
+            else:
+                per_center += sub_price
             if sub.expected_keys is not None:
                 khop_notes.append(
                     f"center {center}: expected "
@@ -480,14 +502,15 @@ class GraphSession:
                     union_keys.append(key)
         if plannable:
             notes[ALGO_KHOP] = khop_notes
-            if request.single:
+            if priceable and request.single:
                 candidates[ALGO_KHOP] = per_center
-            else:
+            elif priceable:
                 # the shared frontier fetches the per-center union once
-                candidates[ALGO_KHOP] = price_plan(
-                    self.tgi.cluster, union_keys, clients=clients,
-                    shared_keys=shared_keys,
+                union_price = self._safe_price(
+                    union_keys, clients, shared_keys=shared_keys
                 )
+                if union_price is not None:
+                    candidates[ALGO_KHOP] = union_price
                 candidates[ALGO_PER_CENTER] = per_center
                 notes[ALGO_PER_CENTER] = list(khop_notes)
         return candidates, plannable, notes
@@ -512,9 +535,10 @@ class GraphSession:
             if chosen == ALGO_PER_CENTER and request.single:
                 chosen = ALGO_KHOP  # one center: the loop *is* Algorithm 4
             return chosen, candidates, raw, notes
-        if not plannable:
-            # no alive center to bound: run Algorithm 4, which raises (or
-            # returns per-center Nones) without fetching a full snapshot
+        if not plannable or not candidates:
+            # no alive center to bound (or no priceable candidate — dead
+            # placements under fault injection): run Algorithm 4, which
+            # raises (or degrades) without fetching a full snapshot
             return ALGO_KHOP, candidates, raw, notes
         chosen = min(
             candidates,
@@ -544,7 +568,11 @@ class GraphSession:
                     clients=request.clients,
                     shared_keys=shared_keys,
                 )
-        except IndexError_:
+        except (IndexError_, StorageError):
+            # IndexError_: unknown node / time out of range — execution
+            # raises the real error.  StorageError: a placement has no
+            # live replica at plan time; the resilient fetch path decides
+            # what happens, so pricing just abstains.
             return None
         return None  # khop_history: no metadata-only bound yet
 
@@ -584,12 +612,34 @@ class GraphSession:
             return self._dispatch(request)
 
     def _dispatch(self, request: QueryRequest) -> QueryResult:
-        if request.kind == "khop":
-            result = self._execute_khop(request)
-        else:
-            result = self._execute_simple(request)
+        collector = PartialCollector() if request.allow_partial else None
+        with partial_scope(collector):
+            if request.kind == "khop":
+                result = self._execute_khop(request)
+            else:
+                result = self._execute_simple(request)
+        if collector is not None:
+            self._fold_degraded(result, collector)
         self.last_result = result
         return result
+
+    @staticmethod
+    def _fold_degraded(
+        result: QueryResult, collector: PartialCollector
+    ) -> None:
+        """Record what an ``allow_partial`` request's collector caught:
+        the dropped partitions land on both the stats and the result's
+        ``degraded`` block.  A fault-free run leaves both untouched, so
+        ``degraded is None`` still means the payload is complete."""
+        if not collector.degraded:
+            return
+        partitions = sorted(
+            set(result.stats.degraded_partitions) | collector.partitions
+        )
+        keys = max(result.stats.degraded_keys, len(collector.keys))
+        result.stats.degraded_partitions = partitions
+        result.stats.degraded_keys = keys
+        result.degraded = {"keys": keys, "partitions": partitions}
 
     def batch(self, coalesce: Optional[bool] = None) -> "Batch":
         """A deferred multi-query builder: the same fluent ``at`` /
@@ -733,24 +783,38 @@ class GraphSession:
             if live_deadlines and all(d is not None for d in live_deadlines)
             else None
         )
+        # A shared-window collector keeps one request's dead partitions
+        # from killing its batchmates: the resilient fetch drops the
+        # unreachable keys instead of raising, and each request settles
+        # its own fate at finalize time — allow_partial requests fold
+        # the drop into a degraded result, strict ones hit the missing
+        # rows and fail (captured per-request when capture_errors).
+        window_collector = (
+            PartialCollector()
+            if capture_errors
+            or any(request.allow_partial for request in requests)
+            else None
+        )
         try:
-            if batch_deadline is not None:
-                def batch_check() -> None:
-                    if self.clock() > batch_deadline:
-                        raise DeadlineExceeded(
-                            "deadline exceeded during shared batch"
-                            " execution"
-                        )
+            with partial_scope(window_collector):
+                if batch_deadline is not None:
+                    def batch_check() -> None:
+                        if self.clock() > batch_deadline:
+                            raise DeadlineExceeded(
+                                "deadline exceeded during shared batch"
+                                " execution"
+                            )
 
-                with cancel_scope(batch_check):
+                    with cancel_scope(batch_check):
+                        pipe = self.tgi.executor.execute_many(
+                            plans, clients=clients,
+                            pipelined=True, coalesce=True,
+                        )
+                else:
                     pipe = self.tgi.executor.execute_many(
-                        plans, clients=clients,
-                        pipelined=True, coalesce=True,
+                        plans, clients=clients, pipelined=True,
+                        coalesce=True,
                     )
-            else:
-                pipe = self.tgi.executor.execute_many(
-                    plans, clients=clients, pipelined=True, coalesce=True
-                )
         except DeadlineExceeded as exc:
             if not capture_errors:
                 raise
@@ -759,6 +823,18 @@ class GraphSession:
                 else guarded(requests[i], deadlines[i])
                 if specs[i] is None
                 else error_result(requests[i], exc)
+                for i in range(len(requests))
+            ]
+        except StorageError:
+            # the shared window died as a whole (e.g. a transient fault
+            # on the plain fetch path, which has no per-key drop form);
+            # fall back to fault-isolated serial execution so only the
+            # requests that actually depend on the dead machine fail
+            if not capture_errors:
+                raise
+            return [
+                errors[i] if errors[i] is not None
+                else guarded(requests[i], deadlines[i])
                 for i in range(len(requests))
             ]
         report = pipe.coalesce
@@ -779,12 +855,20 @@ class GraphSession:
                 out.append(error_result(request, exc))
                 continue
             decoded0 = decoded_events_total()
+            # finalize under the request's own collector: allow_partial
+            # requests absorb missing rows as a degraded result; strict
+            # requests run scope-less so a dropped partition raises a
+            # typed PartitionUnavailable into their error slot
+            req_collector = (
+                PartialCollector() if request.allow_partial else None
+            )
             try:
-                finalized = [
-                    finalize(pipe.results[spec.first + j].values)
-                    for j, finalize in enumerate(spec.finalizes)
-                ]
-                value = spec.assemble(finalized)
+                with partial_scope(req_collector):
+                    finalized = [
+                        finalize(pipe.results[spec.first + j].values)
+                        for j, finalize in enumerate(spec.finalizes)
+                    ]
+                    value = spec.assemble(finalized)
             except Exception as exc:
                 if not capture_errors:
                     raise
@@ -820,7 +904,10 @@ class GraphSession:
                 stats.checkpoint_misses += ckpt["misses"]
                 stats.checkpoint_near_hits += ckpt["near_hits"]
             stats.decoded_events += decoded
-            out.append(QueryResult(request, value, stats))
+            result = QueryResult(request, value, stats)
+            if req_collector is not None:
+                self._fold_degraded(result, req_collector)
+            out.append(result)
         if out:
             self.last_result = out[-1]
         return out

@@ -42,7 +42,10 @@ _MAGIC = "hgs-index"
 # coalescing: single-flight key dedup + merged multiget rounds for
 # batched execution); version-6 files would fail on config access when
 # the session wires the executor's coalescing default
-_FORMAT_VERSION = 7
+# 8: ClusterConfig carries the `checksums` flag and rows may be wrapped
+# in the CRC32 envelope (tag K) it enables; version-7 files would fail
+# on config access when the fault harness or CLI inspects the flag
+_FORMAT_VERSION = 8
 
 
 class PersistenceError(HGSError):
