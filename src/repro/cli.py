@@ -9,7 +9,10 @@ Subcommands::
                     saved index
     hgs serve     — long-running HTTP query service with micro-batching,
                     admission control, and graceful drain
-    hgs inspect   — summarize an event file or a saved index
+    hgs trace     — run queries under the tracer and export the span
+                    tree (Chrome trace-event or structured JSON)
+    hgs inspect   — summarize an event file, a saved index, or a
+                    slow-query log
 
 Run ``python -m repro.cli --help`` (or ``hgs --help`` once installed).
 """
@@ -169,21 +172,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        "instead of failing the query")
     # not required at parse time: --batch reads request specs from a
     # file instead of the subcommand; _cmd_query validates the split
-    qsub = query.add_subparsers(dest="query_kind", required=False)
+    _add_query_kinds(query)
 
-    qsnap = qsub.add_parser("snapshot", help="graph as of a time point")
-    qsnap.add_argument("time", type=int)
-    qsnap.add_argument("--clients", type=int, default=1)
-
-    qnode = qsub.add_parser("node", help="a node's history")
-    qnode.add_argument("node", type=int)
-    qnode.add_argument("ts", type=int)
-    qnode.add_argument("te", type=int)
-
-    qhop = qsub.add_parser("khop", help="k-hop neighborhood at a time point")
-    qhop.add_argument("node", type=int)
-    qhop.add_argument("time", type=int)
-    qhop.add_argument("-k", type=int, default=1)
+    trace = sub.add_parser(
+        "trace",
+        help="run queries under the tracer and export the span tree",
+    )
+    trace.add_argument("index", help="index file from `hgs build`")
+    trace.add_argument("--out", default="trace.json", metavar="FILE",
+                       help="output path for the exported trace")
+    trace.add_argument("--format", choices=["chrome", "json"],
+                       default="chrome",
+                       help="chrome: trace-event JSON loadable in "
+                       "Perfetto / chrome://tracing, with one lane per "
+                       "store machine and apply worker on the simulated "
+                       "timeline plus wall-clock lanes per thread; "
+                       "json: the nested span tree with all attributes")
+    trace.add_argument("--batch", metavar="FILE",
+                       help="JSON-lines request specs ('-' = stdin), "
+                       "traced as one batch through the shared "
+                       "coalesced timeline")
+    trace.add_argument("--algorithm",
+                       choices=[ALGO_AUTO, ALGO_SNAPSHOT_FIRST, ALGO_KHOP],
+                       default=ALGO_AUTO)
+    trace.add_argument("--resilient", action="store_true",
+                       help="enable the cluster's resilience policy so "
+                       "retry/hedge/breaker events appear in the trace")
+    trace.add_argument("--allow-partial", action="store_true")
+    _add_query_kinds(trace)
 
     serve = sub.add_parser(
         "serve",
@@ -229,13 +245,57 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--access-log", default=None, metavar="PATH",
                        help="structured JSON access log, one line per "
                        "request ('-' = stderr)")
+    serve.add_argument("--trace", choices=["off", "all", "ratio", "slow"],
+                       default="off",
+                       help="query tracing: 'all' traces every query, "
+                       "'ratio' a deterministic stride of them "
+                       "(--trace-ratio), 'slow' traces everything but "
+                       "retains only queries slower than --slow-ms; "
+                       "retained traces feed GET /debug/slow")
+    serve.add_argument("--trace-ratio", type=float, default=0.1,
+                       help="fraction of queries traced under "
+                       "--trace ratio")
+    serve.add_argument("--slow-ms", type=float, default=250.0,
+                       help="slow-query threshold (wall ms): traces at "
+                       "least this slow land in the slow-query ring "
+                       "buffer served at GET /debug/slow")
+    serve.add_argument("--slow-log", default=None, metavar="PATH",
+                       help="also append slow-query entries as JSON "
+                       "lines to PATH (readable offline via "
+                       "`hgs inspect PATH --slow`)")
 
-    inspect = sub.add_parser("inspect", help="summarize an event/index file")
+    inspect = sub.add_parser(
+        "inspect", help="summarize an event/index file or slow-query log"
+    )
     inspect.add_argument("path")
     inspect.add_argument(
         "--kind", choices=["auto", "events", "index"], default="auto"
     )
+    inspect.add_argument("--slow", action="store_true",
+                         help="treat PATH as a slow-query JSONL log "
+                         "(from `hgs serve --slow-log`) and summarize "
+                         "its entries: wall time, chosen algorithm, and "
+                         "predicted-vs-actual margin per candidate")
     return parser
+
+
+def _add_query_kinds(parser: argparse.ArgumentParser) -> None:
+    """The snapshot/node/khop subcommands, shared by query and trace."""
+    qsub = parser.add_subparsers(dest="query_kind", required=False)
+
+    qsnap = qsub.add_parser("snapshot", help="graph as of a time point")
+    qsnap.add_argument("time", type=int)
+    qsnap.add_argument("--clients", type=int, default=1)
+
+    qnode = qsub.add_parser("node", help="a node's history")
+    qnode.add_argument("node", type=int)
+    qnode.add_argument("ts", type=int)
+    qnode.add_argument("te", type=int)
+
+    qhop = qsub.add_parser("khop", help="k-hop neighborhood at a time point")
+    qhop.add_argument("node", type=int)
+    qhop.add_argument("time", type=int)
+    qhop.add_argument("-k", type=int, default=1)
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -450,6 +510,69 @@ def _cmd_query_legacy(index, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Trace one query (or a batch) and export the span tree."""
+    from repro.obs import SamplingPolicy, Tracer, chrome_trace, trace_to_json
+
+    if args.batch is None and args.query_kind is None:
+        print("hgs trace: a query subcommand (snapshot/node/khop) or "
+              "--batch FILE is required", file=sys.stderr)
+        return 2
+    if args.batch is not None and args.query_kind is not None:
+        print("hgs trace: --batch replaces the query subcommand; "
+              "give one or the other", file=sys.stderr)
+        return 2
+    index = load_index(args.index)
+    if not isinstance(index, TGI):
+        print(f"hgs trace supports TGI indexes "
+              f"(got {type(index).__name__})", file=sys.stderr)
+        return 1
+    session = GraphSession.from_index(
+        index, index_id=str(Path(args.index).expanduser().resolve())
+    )
+    if args.resilient:
+        index.cluster.enable_resilience()
+    session.tracer = Tracer(SamplingPolicy.all())
+    if args.batch is not None:
+        requests = [
+            _request_from_spec(spec, args.algorithm)
+            for spec in _batch_specs(args.batch)
+        ]
+        if args.allow_partial:
+            requests = [
+                dataclasses.replace(request, allow_partial=True)
+                for request in requests
+            ]
+        results = session.execute_batch(requests)
+        stats_sim = max(
+            (r.stats.sim_time_ms or 0.0) for r in results
+        ) if results else 0.0
+    else:
+        result = session.execute(_request_for(args))
+        stats_sim = result.stats.sim_time_ms or 0.0
+    root = session.tracer.last()
+    if root is None:
+        print("hgs trace: no trace captured", file=sys.stderr)
+        return 1
+    payload = (
+        chrome_trace(root) if args.format == "chrome"
+        else trace_to_json(root)
+    )
+    out = Path(args.out).expanduser()
+    out.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    spans = sum(1 for _ in root.walk())
+    trace_sim = root.sim_ms
+    drift_pct = (
+        abs(trace_sim - stats_sim) / stats_sim * 100.0 if stats_sim else 0.0
+    )
+    print(
+        f"wrote {args.format} trace to {out}: {spans} spans, "
+        f"root sim window {trace_sim:.3f} ms vs QueryStats "
+        f"{stats_sim:.3f} ms ({drift_pct:.3f}% drift)"
+    )
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the asyncio query service until SIGTERM/SIGINT, then drain."""
     import asyncio
@@ -467,6 +590,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.resilient:
         index.cluster.enable_resilience()
+    tracer = None
+    if args.trace != "off":
+        from repro.obs import SamplingPolicy, SlowQueryLog, Tracer
+
+        slow_log = SlowQueryLog(
+            threshold_ms=args.slow_ms, path=args.slow_log
+        )
+        if args.trace == "slow":
+            sampling = SamplingPolicy.slow_only(args.slow_ms)
+        elif args.trace == "ratio":
+            sampling = SamplingPolicy.ratio_of(args.trace_ratio)
+        else:
+            sampling = SamplingPolicy.all()
+        tracer = Tracer(sampling, slow_log=slow_log)
+        session.tracer = tracer
     access = AccessLogger(args.access_log) if args.access_log else None
     service = QueryService(
         session,
@@ -479,6 +617,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline_ms=args.deadline_ms,
         auth_token=args.auth_token,
         access_log=access,
+        tracer=tracer,
     )
     try:
         asyncio.run(serve_until_signalled(service, args.host, args.port))
@@ -488,7 +627,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_inspect_slow(args: argparse.Namespace) -> int:
+    """Summarize a slow-query JSONL log from ``hgs serve --slow-log``."""
+    text = Path(args.path).expanduser().read_text(encoding="utf-8")
+    entries = [
+        json.loads(line) for line in text.splitlines() if line.strip()
+    ]
+    rows = []
+    for entry in entries:
+        for query in entry.get("queries", []):
+            rows.append({
+                "wall_ms": entry.get("wall_ms"),
+                "kind": query.get("kind"),
+                "algorithm": query.get("algorithm"),
+                "predicted_ms": query.get("predicted_ms"),
+                "sim_time_ms": query.get("sim_time_ms"),
+                "margins_ms": query.get("margins_ms"),
+                "degraded_keys": query.get("degraded_keys", 0),
+                "error": query.get("error"),
+            })
+    rows.sort(key=lambda r: -(r["wall_ms"] or 0.0))
+    print(json.dumps({
+        "entries": len(entries),
+        "queries": len(rows),
+        "slowest": rows[:20],
+    }, indent=2))
+    return 0
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
+    if args.slow:
+        return _cmd_inspect_slow(args)
     kind = args.kind
     if kind == "auto":
         kind = "events" if str(args.path).endswith((".jsonl", ".json",
@@ -527,6 +696,19 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
                 "pipeline": index.config.pipeline,
                 "coalesce": index.config.coalesce,
             })
+            # planner state a fresh session would start from: learned
+            # per-k frontier margin multipliers persist with the index;
+            # per-algorithm corrections are session-lifetime EWMA state
+            # (live values come from GET /metrics on a running service)
+            info["planner"] = {
+                "frontier_margin_scale": {
+                    str(k): round(v, 6)
+                    for k, v in sorted(
+                        index.frontier_corrections.items()
+                    )
+                },
+                "corrections": GraphSession.from_index(index).corrections,
+            }
             if index.stats:
                 cal = index.stats.calibration
                 info["stats"] = {
@@ -558,6 +740,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "build": _cmd_build,
         "query": _cmd_query,
         "serve": _cmd_serve,
+        "trace": _cmd_trace,
         "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)

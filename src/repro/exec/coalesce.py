@@ -40,6 +40,7 @@ a dangling entry.
 
 from __future__ import annotations
 
+from contextlib import nullcontext as _null_ctx
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set
 
@@ -47,6 +48,7 @@ from repro.exec.cache import DeltaCache
 from repro.exec.plan import FetchStage, KeyTuple
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import ExecutionTimeline, simulate_plan
+from repro.obs.trace import current_span, use_span
 
 
 def _replay_items(value: Any) -> int:
@@ -224,14 +226,26 @@ class CoalesceScope:
                 default=0.0,
             )
             merged_keys = [f.key for f in pending]
-            try:
-                values, stats = self.cluster.multiget(
-                    merged_keys,
-                    clients=clients,
-                    timeline=timeline,
-                    at=release,
-                    client_offset=self.client_offset_plans * clients,
+            window_span = None
+            parent = current_span()
+            if parent is not None:
+                window_span = parent.child(
+                    "coalesce.window",
+                    keys=len(merged_keys),
+                    participants=len(window.parts),
+                    owners=sum(1 for p in window.parts if p.owned),
                 )
+            try:
+                # nest the merged round's store spans under the window
+                with use_span(window_span) if window_span is not None \
+                        else _null_ctx():
+                    values, stats = self.cluster.multiget(
+                        merged_keys,
+                        clients=clients,
+                        timeline=timeline,
+                        at=release,
+                        client_offset=self.client_offset_plans * clients,
+                    )
             except Exception:
                 # never leave waiters joined to a fetch that will not
                 # complete: deregister so a retry re-registers cleanly
@@ -274,6 +288,19 @@ class CoalesceScope:
             self.merged_rounds += sum(
                 1 for plans in chunk_plans.values() if len(plans) > 1
             )
+            if window_span is not None:
+                if chunk_timings:
+                    window_span.set_sim(
+                        min(t.released_ms for t in chunk_timings),
+                        max(t.completed_ms for t in chunk_timings),
+                    )
+                window_span.set(
+                    requests=len(stats.requests),
+                    rounds=stats.rounds,
+                    merged=sum(
+                        1 for plans in chunk_plans.values() if len(plans) > 1
+                    ),
+                ).end()
             if (
                 stats.retries or stats.hedges or stats.breaker_trips
                 or stats.degraded_keys or stats.degraded_partitions
@@ -348,6 +375,15 @@ class CoalesceScope:
                 )
                 cursor.apply_done = max(cursor.apply_done, work.completed_ms)
                 cursor.standalone_ms += apply_ms
+                span = current_span()
+                if span is not None:
+                    span.child(
+                        "apply", lane=lane, plan=cursor.index,
+                        apply_ms=round(apply_ms, 6),
+                    ).set_sim(
+                        work.completed_ms - work.standalone_ms,
+                        work.completed_ms,
+                    ).end()
             if self.cache is not None:
                 for record in owned_records:
                     self.cache.admit(

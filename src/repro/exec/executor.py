@@ -44,6 +44,7 @@ from repro.exec.coalesce import CoalesceReport, CoalesceScope
 from repro.exec.plan import FetchPlan, FetchStage, KeyGroup, KeyTuple
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import ExecutionTimeline, FetchStats, RoundTiming
+from repro.obs.trace import current_span, use_span
 
 
 def _replay_items(value: Any) -> int:
@@ -306,6 +307,15 @@ class PlanExecutor:
             work = timeline.submit_local(apply_ms, at=cursor.ready_at, lane=lane)
             cursor.apply_done = max(cursor.apply_done, work.completed_ms)
             cursor.standalone_ms += apply_ms
+            span = current_span()
+            if span is not None:
+                span.child(
+                    "apply", lane=lane, plan=cursor.index,
+                    apply_ms=round(apply_ms, 6),
+                ).set_sim(
+                    work.completed_ms - work.standalone_ms,
+                    work.completed_ms,
+                ).end()
 
     def _run_stage(
         self,
@@ -323,6 +333,12 @@ class PlanExecutor:
         costed = model.costs_apply
         apply_ms = 0.0
         keys = stage.keys()
+        parent = current_span()
+        stage_span = None
+        if parent is not None:
+            stage_span = parent.child(
+                "stage", label=getattr(stage, "label", None), keys=len(keys),
+            )
         missing: List[KeyTuple] = []
         if self.cache is None:
             missing = keys
@@ -342,13 +358,30 @@ class PlanExecutor:
                             decoded=True,
                         )
             result.stats.cache_misses += len(missing)
+        if stage_span is not None and self.cache is not None:
+            stage_span.set(
+                cache_hits=len(keys) - len(missing),
+                cache_misses=len(missing),
+            )
         if not missing:
             result.stats.apply_ms += apply_ms
+            if stage_span is not None:
+                stage_span.set(
+                    served_from="cache", apply_ms=round(apply_ms, 6)
+                ).end()
             return None, apply_ms
-        values, stats = self.cluster.multiget(
-            missing, clients=clients, timeline=timeline, at=at,
-            client_offset=client_offset,
-        )
+        if stage_span is None:
+            values, stats = self.cluster.multiget(
+                missing, clients=clients, timeline=timeline, at=at,
+                client_offset=client_offset,
+            )
+        else:
+            # nest this stage's store rounds under the stage span
+            with use_span(stage_span):
+                values, stats = self.cluster.multiget(
+                    missing, clients=clients, timeline=timeline, at=at,
+                    client_offset=client_offset,
+                )
         result.values.update(values)
         result.stats.merge(stats)
         if costed:
@@ -365,6 +398,13 @@ class PlanExecutor:
                     record.stored_bytes,
                     record.raw_bytes,
                 )
+        if stage_span is not None:
+            stage_span.set(
+                requests=len(stats.requests),
+                bytes=stats.bytes_read,
+                rounds=stats.rounds,
+                apply_ms=round(apply_ms, 6),
+            ).end()
         return (
             timeline.rounds[-1] if timeline is not None else None,
             apply_ms,

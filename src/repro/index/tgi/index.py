@@ -78,6 +78,7 @@ from repro.index.tgi.version_chain import VersionChainStore
 from repro.kvstore.cluster import Cluster
 from repro.kvstore.cost import CostModel, FetchStats
 from repro.kvstore.degrade import active_partial, partition_label
+from repro.obs.trace import current_span, use_span
 from repro.partitioning.temporal import timespan_boundaries
 from repro.stats.calibrate import calibrate_apply_costs
 from repro.stats.model import (
@@ -252,6 +253,12 @@ class TGI(HistoricalGraphIndex):
         """Learned multiplier on ``expected_khop_pids``' occupancy
         margin for hop count ``k`` (1.0 until observations arrive)."""
         return self._frontier_corrections.get(k, 1.0)
+
+    @property
+    def frontier_corrections(self) -> Dict[int, float]:
+        """Copy of the learned per-k frontier margin scales (planner
+        drift surface: ``/metrics`` and ``hgs inspect`` report these)."""
+        return dict(self._frontier_corrections)
 
     def _observe_frontier(self, k: int, predicted: int, actual: int) -> None:
         """Fold one executed k-hop's touched-partition count back into
@@ -759,7 +766,7 @@ class TGI(HistoricalGraphIndex):
         if not pids:
             return []
 
-        def compute(pid: int) -> Optional[PartialState]:
+        def replay(pid: int) -> Optional[PartialState]:
             entry = near.get(pid)
             if entry is not None:
                 payload0, t0, gap_keys = entry
@@ -770,6 +777,20 @@ class TGI(HistoricalGraphIndex):
             return self._replay_pid_state(
                 span, pid, t, include_aux, values, plan
             )
+
+        def compute(pid: int) -> Optional[PartialState]:
+            parent = current_span()
+            if parent is None:
+                return replay(pid)
+            # one child span per partition, current while it replays so
+            # events_applied (and any nested work) attributes to it —
+            # including on pool threads, which run in a copied context
+            sub = parent.child("apply.partition", pid=pid, seeded=pid in near)
+            try:
+                with use_span(sub):
+                    return replay(pid)
+            finally:
+                sub.end()
 
         if self.config.apply_workers > 1 and len(pids) > 1:
             # worker threads do not inherit this thread's contextvars, so

@@ -16,6 +16,7 @@ from repro.deltas.columnar import _NO_OTHER, ColumnarEventList, merged_order
 from repro.graph.events import Event, EventKind
 from repro.graph.static import Graph
 from repro.index.interface import evolve_node_state
+from repro.obs.trace import current_span
 from repro.types import AttrMap, EdgeId, NodeId, TimePoint, canonical_edge
 
 # EventKind values as plain ints: the columnar kinds column stores the
@@ -69,6 +70,9 @@ class PartialState:
 
     # -- loading checkpoint deltas ----------------------------------------
     def load_delta(self, delta: Delta) -> None:
+        trace = current_span()
+        if trace is not None:
+            trace.inc("deltas_loaded", 1)
         for comp in delta:
             if isinstance(comp, StaticNode):
                 if self._in_scope(comp.I):
@@ -137,6 +141,7 @@ class PartialState:
         lists = [el for el in lists if el is not None and len(el)]
         if not lists:
             return
+        trace = current_span()
         if all(isinstance(el, ColumnarEventList) for el in lists):
             windows, order = merged_order(lists, until=until, after=after)
             applier = self._applier
@@ -149,6 +154,12 @@ class PartialState:
                         applier.apply_range(el, lo, hi)
             else:
                 applier.apply_order(lists, order)
+            if trace is not None:
+                trace.inc(
+                    "events_applied",
+                    len(order) if order is not None
+                    else sum(hi - lo for lo, hi in windows),
+                )
             return
         evs: List[Event] = []
         for el in lists:
@@ -157,6 +168,8 @@ class PartialState:
                     until is None or ev.time <= until
                 ):
                     evs.append(ev)
+        if trace is not None:
+            trace.inc("events_applied", len(evs))
         self.apply_events(dedup_sorted(evs))
 
     # -- reading out ---------------------------------------------------------

@@ -52,6 +52,7 @@ from repro.kvstore.cost import (
 from repro.kvstore.degrade import active_partial, partition_label
 from repro.kvstore.node import StorageNode
 from repro.kvstore.resilience import CircuitBreaker, ResiliencePolicy
+from repro.obs.trace import current_span
 
 KeyTuple = Tuple
 
@@ -192,7 +193,8 @@ class Cluster:
         if breaker is None:
             policy = self.resilience
             breaker = CircuitBreaker(
-                policy.breaker_threshold, policy.breaker_cooldown_ms
+                policy.breaker_threshold, policy.breaker_cooldown_ms,
+                machine=machine_id,
             )
             self._breakers[machine_id] = breaker
         return breaker
@@ -480,8 +482,12 @@ class Cluster:
                 }
             stats = FetchStats(requests=records, rounds=1 if keys else 0)
             stats.sim_time_ms = simulate_plan(records, self.config.cost_model)
+            timing = None
             if timeline is not None and records:
-                timeline.submit(records, at=at)
+                timing = timeline.submit(records, at=at)
+            span = current_span()
+            if span is not None and records:
+                self._trace_round(span, records, stats.sim_time_ms, timing, at)
             return values, stats
 
         # Oversized round: split into sequential chunks, each planned
@@ -506,12 +512,49 @@ class Cluster:
             stats.requests.extend(records)
             stats.rounds += 1
             stats.sim_time_ms += chunk_ms
+            timing = None
             if timeline is not None and records:
                 timing = timeline.submit(records, at=release)
+            span = current_span()
+            if span is not None and records:
+                self._trace_round(span, records, chunk_ms, timing, release)
+            if timing is not None:
                 release = timing.completed_ms
             else:
                 release += chunk_ms
         return values, stats
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _trace_round(
+        span, records, round_ms, timing, release, attempt=None,
+    ):
+        """Attach one store-round span to the active trace.
+
+        Only ever called with a live span (callers guard on
+        ``current_span()``), so the untraced path pays nothing beyond
+        that single contextvar read."""
+        rs = span.child(
+            "round",
+            requests=len(records),
+            bytes=sum(r.stored_bytes for r in records),
+            machines=sorted({r.server for r in records}),
+            sim_round_ms=round(round_ms, 6),
+        )
+        if attempt is not None:
+            rs.set(attempt=attempt)
+        if timing is not None:
+            rs.set_sim(timing.released_ms, timing.completed_ms)
+            if timing.server_windows:
+                rs.set(server_windows=dict(timing.server_windows))
+        else:
+            # No shared timeline: the round stands alone at its release
+            # instant for exactly its two-sided bound.
+            rs.set_sim(release, release + round_ms)
+        rs.end()
+        return rs
 
     # ------------------------------------------------------------------
     # fault plumbing (plain path)
@@ -597,6 +640,7 @@ class Cluster:
         rng = self._policy_rng
         plen = self._placement_len
         base = getattr(self, "clock_ms", 0.0)
+        span = current_span()
         release = at
         now = base + at
         remaining: List[KeyTuple] = list(round_keys)
@@ -652,8 +696,19 @@ class Cluster:
                 stats.requests.extend(ok_records)
                 stats.rounds += 1
                 stats.sim_time_ms += round_ms
+                timing = None
                 if timeline is not None and records:
                     timing = timeline.submit(records, at=release)
+                if span is not None and records:
+                    rs = self._trace_round(
+                        span, records, round_ms, timing, release,
+                        attempt=attempt,
+                    )
+                    if hedged:
+                        rs.add_event("hedge", moved=hedged, sim_at=release)
+                    if failed:
+                        rs.set(failed_keys=len(failed))
+                if timing is not None:
                     release = timing.completed_ms
                 else:
                     release += round_ms
@@ -667,6 +722,11 @@ class Cluster:
             delay = policy.backoff_ms(attempt, rng)
             stats.backoff_ms += delay
             stats.sim_time_ms += delay
+            if span is not None:
+                span.add_event(
+                    "retry", keys=len(remaining), attempt=attempt,
+                    backoff_ms=round(delay, 6), sim_at=release,
+                )
             release += delay
             now = base + release
         # Retries exhausted: degrade if authorized, else raise typed.
@@ -686,6 +746,11 @@ class Cluster:
         for label in labels:
             if label not in stats.degraded_partitions:
                 stats.degraded_partitions.append(label)
+        if span is not None:
+            span.add_event(
+                "degraded", keys=len(remaining), partitions=labels,
+                sim_at=release,
+            )
         return release
 
     def _route_resilient(

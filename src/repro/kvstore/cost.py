@@ -331,6 +331,10 @@ class RoundTiming:
         lane: ``None`` for a store multiget round; the local-lane name for
             client-side work scheduled via
             :meth:`ExecutionTimeline.submit_local` (e.g. apply work).
+        server_windows: for store rounds, the exact ``(start, end)``
+            window during which each storage machine was busy serving
+            this round — the per-machine occupancy trace exports draw as
+            timeline lanes (``None`` for local-lane work).
     """
 
     index: int
@@ -338,6 +342,7 @@ class RoundTiming:
     completed_ms: float
     standalone_ms: float
     lane: Optional[str] = None
+    server_windows: Optional[Dict[int, Tuple[float, float]]] = None
 
     @property
     def elapsed_ms(self) -> float:
@@ -388,15 +393,20 @@ class ExecutionTimeline:
             start = max(at, self._client_free.get(client, 0.0))
             self._client_free[client] = start + demand
             end = max(end, start + demand)
+        server_windows: Dict[int, Tuple[float, float]] = {}
         for server, demand in server_demand.items():
             start = max(at, self._server_free.get(server, 0.0))
             self._server_free[server] = start + demand
             end = max(end, start + demand)
+            server_windows[server] = (start, start + demand)
         standalone = max(
             max(client_demand.values(), default=0.0),
             max(server_demand.values(), default=0.0),
         )
-        timing = RoundTiming(len(self.rounds), at, end, standalone)
+        timing = RoundTiming(
+            len(self.rounds), at, end, standalone,
+            server_windows=server_windows,
+        )
         self.rounds.append(timing)
         return timing
 

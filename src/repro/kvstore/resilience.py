@@ -24,9 +24,10 @@ the cluster, so a fixed fault schedule replays identically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import StorageError
+from repro.obs.trace import current_span
 
 #: Breaker states, reported verbatim in ``/healthz``.
 CLOSED = "closed"
@@ -90,9 +91,13 @@ class CircuitBreaker:
     single attribute write).
     """
 
-    def __init__(self, threshold: int, cooldown_ms: float) -> None:
+    def __init__(
+        self, threshold: int, cooldown_ms: float,
+        machine: Optional[int] = None,
+    ) -> None:
         self.threshold = threshold
         self.cooldown_ms = cooldown_ms
+        self.machine = machine
         self.state = CLOSED
         self.failures = 0
         self.opened_at = 0.0
@@ -107,6 +112,11 @@ class CircuitBreaker:
         if self.state == OPEN:
             if now - self.opened_at >= self.cooldown_ms:
                 self.state = HALF_OPEN
+                span = current_span()
+                if span is not None:
+                    span.add_event(
+                        "breaker_probe", machine=self.machine, sim_at=now
+                    )
                 return True
             return False
         return True
@@ -122,14 +132,24 @@ class CircuitBreaker:
             self.state = OPEN
             self.opened_at = now
             self.trips += 1
+            self._trace_trip(now, probe=True)
             return 1
         self.failures += 1
         if self.state != OPEN and self.failures >= self.threshold:
             self.state = OPEN
             self.opened_at = now
             self.trips += 1
+            self._trace_trip(now, probe=False)
             return 1
         return 0
+
+    def _trace_trip(self, now: float, probe: bool) -> None:
+        span = current_span()
+        if span is not None:
+            span.add_event(
+                "breaker_trip", machine=self.machine, sim_at=now,
+                failed_probe=probe,
+            )
 
     def snapshot(self) -> Dict[str, Any]:
         return {

@@ -1,0 +1,272 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Counters, gauges and histograms are registered by (name, labels) in a
+:class:`MetricsRegistry`; the service's ``ServiceMetrics`` rebases its
+bookkeeping onto these primitives (keeping its JSON ``snapshot()``
+shape), and any registry renders to the Prometheus text format
+(exposition 0.0.4) for ``GET /metrics?format=prometheus`` or offline
+inspection.
+
+Histogram bucket boundaries live here — :data:`DEFAULT_LATENCY_BOUNDS_MS`
+is the single source the service histograms and the Prometheus ``le``
+labels both read, so the JSON and Prometheus views of the same
+histogram can never disagree about bucketing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_LATENCY_BOUNDS_MS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+]
+
+#: Shared latency bucket upper bounds, in milliseconds.  The service's
+#: latency histograms and the Prometheus exposition both use exactly
+#: these boundaries.
+DEFAULT_LATENCY_BOUNDS_MS: Tuple[float, ...] = (
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1000.0, 2500.0, 5000.0,
+)
+
+LabelPairs = Tuple[Tuple[str, str], ...]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample-value formatting: integers without the dot."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+    )
+
+
+def _render_labels(labels: LabelPairs, extra: str = "") -> str:
+    parts = [f'{k}="{_escape_label(str(v))}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class Counter:
+    """Monotonically increasing float counter."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def samples(self) -> Iterable[Tuple[str, str, float]]:
+        yield self.name, _render_labels(self.labels), self.value
+
+
+class Gauge:
+    """Point-in-time float value."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelPairs = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def samples(self) -> Iterable[Tuple[str, str, float]]:
+        yield self.name, _render_labels(self.labels), self.value
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative ``le`` buckets on export)."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelPairs = (),
+        bounds: Tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_MS,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(sorted(bounds))
+        self.counts = [0] * (len(self.bounds) + 1)  # last = +Inf overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        else:
+            self.counts[-1] += 1
+        self.total += value
+        self.count += 1
+
+    def samples(self) -> Iterable[Tuple[str, str, float]]:
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.counts):
+            cumulative += n
+            yield (
+                self.name + "_bucket",
+                _render_labels(self.labels, f'le="{_format_value(bound)}"'),
+                float(cumulative),
+            )
+        yield (
+            self.name + "_bucket",
+            _render_labels(self.labels, 'le="+Inf"'),
+            float(self.count),
+        )
+        yield self.name + "_sum", _render_labels(self.labels), self.total
+        yield self.name + "_count", _render_labels(self.labels), float(
+            self.count
+        )
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named, labeled metrics.
+
+    A metric family (one name) has a single type and help string; each
+    distinct label set within it is its own series.  ``render()``
+    produces the whole registry in Prometheus text format.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # name -> (kind, help, {label_pairs: metric})
+        self._families: Dict[str, Tuple[str, str, Dict[LabelPairs, Any]]] = {}
+        self._order: List[str] = []
+
+    @staticmethod
+    def _label_pairs(labels: Optional[Dict[str, Any]]) -> LabelPairs:
+        if not labels:
+            return ()
+        return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+    def _get_or_create(
+        self, name: str, kind: str, help: str,
+        labels: Optional[Dict[str, Any]], factory,
+    ):
+        pairs = self._label_pairs(labels)
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (kind, help, {})
+                self._families[name] = family
+                self._order.append(name)
+            elif family[0] != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {family[0]}"
+                )
+            series = family[2]
+            metric = series.get(pairs)
+            if metric is None:
+                metric = factory(name, pairs)
+                series[pairs] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> Counter:
+        return self._get_or_create(name, "counter", help, labels, Counter)
+
+    def gauge(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, Any]] = None,
+    ) -> Gauge:
+        return self._get_or_create(name, "gauge", help, labels, Gauge)
+
+    def histogram(
+        self, name: str, help: str = "",
+        labels: Optional[Dict[str, Any]] = None,
+        bounds: Tuple[float, ...] = DEFAULT_LATENCY_BOUNDS_MS,
+        factory=Histogram,
+    ) -> Histogram:
+        def make(n: str, pairs: LabelPairs) -> Histogram:
+            return factory(n, pairs, bounds=bounds)
+
+        return self._get_or_create(name, "histogram", help, labels, make)
+
+    def series(self, name: str) -> List[Tuple[Dict[str, str], Any]]:
+        """Every (labels, metric) pair registered under ``name``."""
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return []
+            return [(dict(pairs), m) for pairs, m in family[2].items()]
+
+    def render(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: List[str] = []
+        with self._lock:
+            order = list(self._order)
+            families = {n: self._families[n] for n in order}
+        for name in order:
+            kind, help, series = families[name]
+            if help:
+                lines.append(f"# HELP {name} {help}")
+            lines.append(f"# TYPE {name} {kind}")
+            for metric in series.values():
+                for sample_name, label_str, value in metric.samples():
+                    lines.append(
+                        f"{sample_name}{label_str} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-friendly dump: ``{name: [{labels, value|histogram}]}``."""
+        out: Dict[str, Any] = {}
+        with self._lock:
+            families = {
+                n: (k, dict(s)) for n, (k, _h, s) in self._families.items()
+            }
+        for name, (kind, series) in families.items():
+            rows = []
+            for pairs, metric in series.items():
+                row: Dict[str, Any] = {"labels": dict(pairs)}
+                if kind == "histogram":
+                    row["count"] = metric.count
+                    row["sum"] = metric.total
+                    row["buckets"] = {
+                        _format_value(b): c
+                        for b, c in zip(metric.bounds, metric.counts)
+                    }
+                    row["buckets"]["inf"] = metric.counts[-1]
+                else:
+                    row["value"] = metric.value
+                rows.append(row)
+            out[name] = rows
+        return out
+
+
+#: Process-wide default registry for non-service users (the service
+#: builds its own registry per ``ServiceMetrics`` instance so separate
+#: services never share counters).
+REGISTRY = MetricsRegistry()

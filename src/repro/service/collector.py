@@ -30,6 +30,7 @@ completion callbacks hop back to the loop thread to resolve futures.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -144,8 +145,12 @@ class MicroBatchCollector:
         self._batch_seq += 1
         batch = _Batch(batch_id=self._batch_seq, members=members)
         assert self._loop is not None
+        # run_in_executor does not propagate contextvars; copy them so
+        # an active trace span (repro.obs) follows the batch onto the
+        # worker thread
+        ctx = contextvars.copy_context()
         future = self._loop.run_in_executor(
-            self._pool, self._run_batch, batch
+            self._pool, lambda: ctx.run(self._run_batch, batch)
         )
         self._inflight.add(future)
         future.add_done_callback(

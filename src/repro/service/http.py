@@ -12,7 +12,11 @@ Three routes:
   window queue time, execution wall time).
 - ``GET /healthz`` — liveness plus drain state.
 - ``GET /metrics`` — the :class:`~repro.service.metrics.ServiceMetrics`
-  snapshot.
+  snapshot (JSON), plus the session's planner state (correction factors
+  and learned frontier margins); ``?format=prometheus`` renders the
+  same counters in Prometheus text exposition 0.0.4.
+- ``GET /debug/slow`` — the tracer's slow-query ring buffer
+  (``?traces=1`` includes full span trees).
 
 The request path is: middleware (request id, caller, auth) → admission
 control (rate limit / load shed) → deadline stamping (budget counted
@@ -36,7 +40,8 @@ import signal
 import sys
 import threading
 import time
-from typing import Any, Dict, List, Optional, TextIO, Tuple
+import urllib.parse
+from typing import Any, Dict, List, Optional, TextIO, Tuple, Union
 
 from repro.api import (
     BadRequest,
@@ -105,10 +110,13 @@ class QueryService:
         access_log: Optional[AccessLogger] = None,
         middlewares: Optional[List[Middleware]] = None,
         metrics: Optional[ServiceMetrics] = None,
+        tracer: Optional[Any] = None,
         clock=time.monotonic,
     ) -> None:
         self.session = session
         self.clock = clock
+        #: explicit tracer wins; otherwise whatever the session carries
+        self.tracer = tracer
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.collector = MicroBatchCollector(
             session,
@@ -237,15 +245,21 @@ class QueryService:
         self,
         writer: asyncio.StreamWriter,
         status: int,
-        payload: Dict[str, Any],
+        payload: Union[Dict[str, Any], str],
         extra_headers: Dict[str, str],
         keep_alive: bool,
     ) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, str):
+            # Prometheus text exposition (the only non-JSON response)
+            body = payload.encode("utf-8")
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         reason = http.client.responses.get(status, "Unknown")
         head = [
             f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]
@@ -263,7 +277,9 @@ class QueryService:
         path: str,
         headers: Dict[str, str],
         body: bytes,
-    ) -> Tuple[int, Dict[str, Any], Dict[str, str]]:
+    ) -> Tuple[int, Union[Dict[str, Any], str], Dict[str, str]]:
+        route, _sep, query_string = path.partition("?")
+        params = urllib.parse.parse_qs(query_string)
         ctx = RequestContext(
             method=method,
             path=path,
@@ -271,13 +287,13 @@ class QueryService:
             received_at=self.clock(),
         )
         extra: Dict[str, str] = {}
-        log: Dict[str, Any] = {"method": method, "path": path}
+        log: Dict[str, Any] = {"method": method, "path": route}
         try:
             for middleware in self.middlewares:
                 middleware(ctx)
             extra["X-Request-Id"] = ctx.request_id
             log.update(request_id=ctx.request_id, caller=ctx.caller)
-            if method == "GET" and path == "/healthz":
+            if method == "GET" and route == "/healthz":
                 status, payload = 200, {
                     "status": "draining" if self.draining else "ok"
                 }
@@ -291,9 +307,11 @@ class QueryService:
                     getattr(cluster, "resilience", None) is not None
                 ):
                     payload["breakers"] = cluster.breaker_snapshot()
-            elif method == "GET" and path == "/metrics":
-                status, payload = 200, self.metrics.snapshot()
-            elif method == "POST" and path == "/query":
+            elif method == "GET" and route == "/metrics":
+                status, payload = 200, self._render_metrics(params)
+            elif method == "GET" and route == "/debug/slow":
+                status, payload = 200, self._render_slow(params)
+            elif method == "POST" and route == "/query":
                 status, payload = await self._handle_query(ctx, body, log)
                 err = payload.get("error") or {}
                 if err.get("retry_after_s") is not None:
@@ -312,7 +330,7 @@ class QueryService:
         except Exception as exc:  # noqa: BLE001 — the server must not die
             status, payload = error_payload(exc)
         wall_ms = (self.clock() - ctx.received_at) * 1000.0
-        if path == "/query":
+        if route == "/query":
             self.metrics.record_response(ctx.caller, status, wall_ms)
         if self.access_log is not None:
             log.update(
@@ -320,10 +338,60 @@ class QueryService:
                 status=status,
                 wall_ms=round(wall_ms, 3),
             )
-            if "error" in payload:
+            if isinstance(payload, dict) and "error" in payload:
                 log["error_code"] = payload["error"].get("code")
             self.access_log.log(log)
         return status, payload, extra
+
+    def _render_metrics(
+        self, params: Dict[str, List[str]]
+    ) -> Union[Dict[str, Any], str]:
+        """The metrics endpoint body: JSON snapshot (plus the session's
+        planner state) by default, Prometheus text on request."""
+        fmt = (params.get("format") or ["json"])[0]
+        session_export = getattr(self.session, "export_metrics", None)
+        if fmt == "prometheus":
+            text = self.metrics.render_prometheus()
+            if session_export is not None:
+                # session families (hgs_planner_*, hgs_session_*) are
+                # disjoint from the service's, so concatenation is a
+                # valid single exposition
+                text += session_export("prometheus")
+            return text
+        snap = self.metrics.snapshot()
+        if session_export is not None:
+            planner = session_export("json")
+            snap["planner"] = {
+                "corrections": planner.get("corrections", {}),
+                "frontier_margin_scale": planner.get(
+                    "frontier_margin_scale", {}
+                ),
+            }
+            snap["session_totals"] = planner.get("totals", {})
+        return snap
+
+    def _render_slow(
+        self, params: Dict[str, List[str]]
+    ) -> Dict[str, Any]:
+        """The slow-query ring buffer; span trees only on ``?traces=1``
+        (they dwarf the summaries)."""
+        tracer = (
+            self.tracer
+            if self.tracer is not None
+            else getattr(self.session, "tracer", None)
+        )
+        slow_log = getattr(tracer, "slow_log", None)
+        if slow_log is None:
+            return {
+                "enabled": False,
+                "threshold_ms": None,
+                "count": 0,
+                "entries": [],
+            }
+        include = (params.get("traces") or ["0"])[0] in ("1", "true")
+        payload = slow_log.as_dict(include_traces=include)
+        payload["enabled"] = True
+        return payload
 
     async def _handle_query(
         self,
@@ -381,6 +449,11 @@ class QueryService:
             predicted_ms=stats.get("predicted_ms"),
             sim_time_ms=stats.get("sim_time_ms"),
             algorithm=stats.get("algorithm"),
+            retries=result.stats.retries,
+            hedges=result.stats.hedges,
+            breaker_trips=result.stats.breaker_trips,
+            degraded_keys=result.stats.degraded_keys,
+            degraded_partitions=list(result.stats.degraded_partitions),
         )
         payload = dict(result_payload(request, result))
         payload.update(stats)

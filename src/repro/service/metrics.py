@@ -12,6 +12,14 @@ to each), the per-caller ``store_requests`` / ``store_bytes`` sums here
 add up exactly to the deduplicated totals the store saw — tenant
 accounting stays honest under cross-caller coalescing.
 
+Every counter is backed by a metric in a private
+:class:`~repro.obs.metrics.MetricsRegistry`, so the same state renders
+two ways: the JSON ``snapshot()`` the dashboard reads, and the
+Prometheus text exposition (``render_prometheus()``) a scraper reads.
+Bucket boundaries come from the registry module's
+:data:`~repro.obs.metrics.DEFAULT_LATENCY_BOUNDS_MS`, so both views
+agree about bucketing by construction.
+
 All mutation happens under one lock; the snapshot is a plain dict so
 the endpoint can ``json.dumps`` it without touching live state.
 """
@@ -19,50 +27,59 @@ the endpoint can ``json.dumps`` it without touching live state.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-#: Upper bounds (milliseconds) of the histogram buckets; the last
-#: bucket is open-ended.  Roughly log-spaced from sub-millisecond
-#: in-process calls to multi-second stragglers.
-DEFAULT_BOUNDS_MS = (
-    1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
-    250.0, 500.0, 1000.0, 2500.0, 5000.0,
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BOUNDS_MS,
+    Histogram,
+    MetricsRegistry,
 )
 
+#: Upper bounds (milliseconds) of the histogram buckets; the last
+#: bucket is open-ended.  Shared with the Prometheus exposition via
+#: :data:`repro.obs.metrics.DEFAULT_LATENCY_BOUNDS_MS` — the service no
+#: longer hardcodes its own copy.
+DEFAULT_BOUNDS_MS = DEFAULT_LATENCY_BOUNDS_MS
 
-class LatencyHistogram:
+
+class LatencyHistogram(Histogram):
     """A fixed-bucket latency histogram with percentile estimates.
 
-    Percentiles are read from bucket upper bounds, which overestimates
-    by at most one bucket width — good enough for a serving dashboard,
-    and it keeps ``observe`` O(buckets) with no sample retention.
-    Not thread-safe on its own; callers hold the metrics lock.
+    A :class:`repro.obs.metrics.Histogram` (so it registers in a
+    :class:`MetricsRegistry` and renders as Prometheus ``le`` buckets)
+    plus the max tracking and bucket-bound percentile reads the JSON
+    dashboard wants.  Percentile reads overestimate by at most one
+    bucket width — good enough for a serving dashboard, and ``observe``
+    stays O(buckets) with no sample retention.  Not thread-safe on its
+    own; callers hold the metrics lock.
     """
 
-    def __init__(self, bounds_ms: Sequence[float] = DEFAULT_BOUNDS_MS):
-        self.bounds = tuple(bounds_ms)
-        self.counts = [0] * (len(self.bounds) + 1)
-        self.total = 0
-        self.sum_ms = 0.0
+    __slots__ = ("max_ms",)
+
+    def __init__(
+        self,
+        name: str = "latency_ms",
+        labels: Tuple[Tuple[str, str], ...] = (),
+        bounds: Sequence[float] = DEFAULT_BOUNDS_MS,
+    ):
+        super().__init__(name, labels, bounds=tuple(bounds))
         self.max_ms = 0.0
 
     def observe(self, ms: float) -> None:
-        self.total += 1
-        self.sum_ms += ms
+        super().observe(ms)
         if ms > self.max_ms:
             self.max_ms = ms
-        for i, bound in enumerate(self.bounds):
-            if ms <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+
+    @property
+    def sum_ms(self) -> float:
+        return self.total
 
     def percentile(self, q: float) -> Optional[float]:
         """The smallest bucket bound covering fraction ``q`` of samples
         (the max seen for the open-ended tail); ``None`` when empty."""
-        if self.total == 0:
+        if self.count == 0:
             return None
-        target = q * self.total
+        target = q * self.count
         seen = 0
         for i, count in enumerate(self.counts):
             seen += count
@@ -74,9 +91,9 @@ class LatencyHistogram:
 
     def as_dict(self) -> Dict[str, Any]:
         return {
-            "count": self.total,
+            "count": self.count,
             "mean_ms": (
-                round(self.sum_ms / self.total, 3) if self.total else None
+                round(self.total / self.count, 3) if self.count else None
             ),
             "max_ms": round(self.max_ms, 3),
             "p50_ms": self.percentile(0.50),
@@ -93,62 +110,160 @@ class LatencyHistogram:
 
 
 class ServiceMetrics:
-    """Shared, lock-protected counters for the whole service."""
+    """Shared, lock-protected counters for the whole service.
 
-    def __init__(self) -> None:
+    Each instance owns a private :class:`MetricsRegistry` (pass one in
+    to share), so two services never cross-count; the registry gives
+    every counter a Prometheus rendering for free.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self.requests_total = 0
-        self.by_status: Dict[int, int] = {}
-        self.by_caller: Dict[str, int] = {}
-        self.by_kind: Dict[str, int] = {}
-        self.rejected: Dict[str, int] = {}
-        self.batches = 0
-        self.batched_requests = 0
-        self.max_batch_size = 0
-        self.coalesced_hits = 0
-        self.coalesced_bytes_saved = 0.0
-        self.merged_rounds = 0
-        self.store_requests: Dict[str, float] = {}
-        self.store_bytes: Dict[str, float] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.checkpoint_hits = 0
-        self.checkpoint_misses = 0
-        self.checkpoint_near_hits = 0
-        self.retries = 0
-        self.hedges = 0
-        self.breaker_trips = 0
-        self.degraded_queries = 0
-        self.degraded_keys = 0
+        reg = registry if registry is not None else MetricsRegistry()
+        self.registry = reg
+        self.requests_total = reg.counter(
+            "hgs_http_requests_total", "HTTP requests admitted"
+        )
+        self.batches = reg.counter(
+            "hgs_exec_batches_total", "Executed micro-batches"
+        )
+        self.batched_requests = reg.counter(
+            "hgs_exec_batched_requests_total",
+            "Requests executed through micro-batches",
+        )
+        self.max_batch_size = reg.gauge(
+            "hgs_exec_batch_size_max", "Largest micro-batch executed"
+        )
+        self.coalesced_hits = reg.counter(
+            "hgs_coalesced_hits_total", "Rows served from coalesced fetches"
+        )
+        self.coalesced_bytes_saved = reg.counter(
+            "hgs_coalesced_bytes_saved_total",
+            "Bytes not re-fetched thanks to coalescing",
+        )
+        self.merged_rounds = reg.counter(
+            "hgs_merged_rounds_total", "Multiget rounds merged away"
+        )
+        self.cache_hits = reg.counter(
+            "hgs_cache_hits_total", "Executor cache hits"
+        )
+        self.cache_misses = reg.counter(
+            "hgs_cache_misses_total", "Executor cache misses"
+        )
+        self.checkpoint_hits = reg.counter(
+            "hgs_checkpoint_hits_total", "Exact checkpoint hits"
+        )
+        self.checkpoint_misses = reg.counter(
+            "hgs_checkpoint_misses_total", "Checkpoint misses"
+        )
+        self.checkpoint_near_hits = reg.counter(
+            "hgs_checkpoint_near_hits_total", "Near-checkpoint hits"
+        )
+        self.retries = reg.counter(
+            "hgs_store_retries_total", "Store round retries"
+        )
+        self.hedges = reg.counter(
+            "hgs_store_hedges_total", "Hedged store sub-rounds"
+        )
+        self.breaker_trips = reg.counter(
+            "hgs_breaker_trips_total", "Circuit-breaker trips"
+        )
+        self.degraded_queries = reg.counter(
+            "hgs_degraded_queries_total",
+            "Queries answered with degraded coverage",
+        )
+        self.degraded_keys = reg.counter(
+            "hgs_degraded_keys_total", "Keys missing from degraded answers"
+        )
         #: wall time from HTTP admission to response write
-        self.service_latency = LatencyHistogram()
+        self.service_latency = self._latency(
+            "hgs_service_latency_ms", "HTTP admission-to-response wall time"
+        )
         #: wall time the thread pool spent inside ``execute_batch``
-        self.exec_latency = LatencyHistogram()
+        self.exec_latency = self._latency(
+            "hgs_exec_latency_ms", "execute_batch wall time"
+        )
         #: time requests waited in the collector window
-        self.queue_latency = LatencyHistogram()
+        self.queue_latency = self._latency(
+            "hgs_queue_latency_ms", "Collector queue wait"
+        )
+
+    def _latency(self, name: str, help: str) -> LatencyHistogram:
+        return self.registry.histogram(
+            name, help, bounds=DEFAULT_BOUNDS_MS, factory=LatencyHistogram
+        )
+
+    # labeled families, get-or-create per label value -------------------
+    def _by_status(self, status: int):
+        return self.registry.counter(
+            "hgs_http_responses_total",
+            "HTTP responses by status",
+            labels={"status": status},
+        )
+
+    def _by_caller(self, caller: str):
+        return self.registry.counter(
+            "hgs_http_requests_by_caller_total",
+            "HTTP requests by caller",
+            labels={"caller": caller},
+        )
+
+    def _by_kind(self, kind: str):
+        return self.registry.counter(
+            "hgs_queries_total",
+            "Executed queries by kind",
+            labels={"kind": kind},
+        )
+
+    def _rejected(self, reason: str):
+        return self.registry.counter(
+            "hgs_http_rejected_total",
+            "Requests rejected before execution",
+            labels={"reason": reason},
+        )
+
+    def _store_requests(self, caller: str):
+        return self.registry.counter(
+            "hgs_store_requests_total",
+            "Store requests billed per caller (fair-share)",
+            labels={"caller": caller},
+        )
+
+    def _store_bytes(self, caller: str):
+        return self.registry.counter(
+            "hgs_store_bytes_total",
+            "Store bytes billed per caller (fair-share)",
+            labels={"caller": caller},
+        )
+
+    def _family_by_label(self, name: str, key: str) -> Dict[str, float]:
+        return {
+            labels.get(key, ""): metric.value
+            for labels, metric in self.registry.series(name)
+        }
 
     # -- recording ------------------------------------------------------
     def record_response(
         self, caller: str, status: int, wall_ms: float
     ) -> None:
         with self._lock:
-            self.requests_total += 1
-            self.by_status[status] = self.by_status.get(status, 0) + 1
-            self.by_caller[caller] = self.by_caller.get(caller, 0) + 1
+            self.requests_total.inc()
+            self._by_status(status).inc()
+            self._by_caller(caller).inc()
             self.service_latency.observe(wall_ms)
 
     def record_rejection(self, reason: str) -> None:
         with self._lock:
-            self.rejected[reason] = self.rejected.get(reason, 0) + 1
+            self._rejected(reason).inc()
 
     def record_batch(
         self, size: int, exec_ms: float, queue_mss: Sequence[float]
     ) -> None:
         with self._lock:
-            self.batches += 1
-            self.batched_requests += size
-            if size > self.max_batch_size:
-                self.max_batch_size = size
+            self.batches.inc()
+            self.batched_requests.inc(size)
+            if size > self.max_batch_size.value:
+                self.max_batch_size.set(size)
             self.exec_latency.observe(exec_ms)
             for queue_ms in queue_mss:
                 self.queue_latency.observe(queue_ms)
@@ -156,98 +271,112 @@ class ServiceMetrics:
     def record_query(self, caller: str, kind: str, stats: Any) -> None:
         """Fold one executed request's :class:`QueryStats` in."""
         with self._lock:
-            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
-            self.store_requests[caller] = (
-                self.store_requests.get(caller, 0.0) + stats.requests
-            )
-            self.store_bytes[caller] = (
-                self.store_bytes.get(caller, 0.0) + stats.bytes_read
-            )
-            self.coalesced_hits += stats.coalesced_hits
-            self.coalesced_bytes_saved += stats.coalesced_bytes_saved
-            self.merged_rounds += stats.merged_rounds
-            self.cache_hits += stats.cache_hits
-            self.cache_misses += stats.cache_misses
-            self.checkpoint_hits += stats.checkpoint_hits
-            self.checkpoint_misses += stats.checkpoint_misses
-            self.checkpoint_near_hits += stats.checkpoint_near_hits
-            self.retries += getattr(stats, "retries", 0)
-            self.hedges += getattr(stats, "hedges", 0)
-            self.breaker_trips += getattr(stats, "breaker_trips", 0)
+            self._by_kind(kind).inc()
+            self._store_requests(caller).inc(stats.requests)
+            self._store_bytes(caller).inc(stats.bytes_read)
+            self.coalesced_hits.inc(stats.coalesced_hits)
+            self.coalesced_bytes_saved.inc(stats.coalesced_bytes_saved)
+            self.merged_rounds.inc(stats.merged_rounds)
+            self.cache_hits.inc(stats.cache_hits)
+            self.cache_misses.inc(stats.cache_misses)
+            self.checkpoint_hits.inc(stats.checkpoint_hits)
+            self.checkpoint_misses.inc(stats.checkpoint_misses)
+            self.checkpoint_near_hits.inc(stats.checkpoint_near_hits)
+            self.retries.inc(getattr(stats, "retries", 0))
+            self.hedges.inc(getattr(stats, "hedges", 0))
+            self.breaker_trips.inc(getattr(stats, "breaker_trips", 0))
             degraded_keys = getattr(stats, "degraded_keys", 0)
             if degraded_keys or getattr(stats, "degraded_partitions", ()):
-                self.degraded_queries += 1
-                self.degraded_keys += degraded_keys
+                self.degraded_queries.inc()
+                self.degraded_keys.inc(degraded_keys)
 
     # -- reporting ------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-ready copy of every counter, taken under the lock."""
         with self._lock:
-            ckpt_lookups = (
-                self.checkpoint_hits
-                + self.checkpoint_misses
-                + self.checkpoint_near_hits
+            by_status = self._family_by_label(
+                "hgs_http_responses_total", "status"
             )
+            by_caller = self._family_by_label(
+                "hgs_http_requests_by_caller_total", "caller"
+            )
+            by_kind = self._family_by_label("hgs_queries_total", "kind")
+            rejected = self._family_by_label(
+                "hgs_http_rejected_total", "reason"
+            )
+            store_requests = self._family_by_label(
+                "hgs_store_requests_total", "caller"
+            )
+            store_bytes = self._family_by_label(
+                "hgs_store_bytes_total", "caller"
+            )
+            batches = int(self.batches.value)
+            batched_requests = int(self.batched_requests.value)
+            ckpt_hits = int(self.checkpoint_hits.value)
+            ckpt_misses = int(self.checkpoint_misses.value)
+            ckpt_near = int(self.checkpoint_near_hits.value)
+            ckpt_lookups = ckpt_hits + ckpt_misses + ckpt_near
             return {
                 "requests": {
-                    "total": self.requests_total,
+                    "total": int(self.requests_total.value),
                     "by_status": {
-                        str(k): v for k, v in sorted(self.by_status.items())
+                        k: int(v) for k, v in sorted(by_status.items())
                     },
-                    "by_caller": dict(sorted(self.by_caller.items())),
-                    "by_kind": dict(sorted(self.by_kind.items())),
-                    "rejected": dict(sorted(self.rejected.items())),
+                    "by_caller": {
+                        k: int(v) for k, v in sorted(by_caller.items())
+                    },
+                    "by_kind": {
+                        k: int(v) for k, v in sorted(by_kind.items())
+                    },
+                    "rejected": {
+                        k: int(v) for k, v in sorted(rejected.items())
+                    },
                 },
                 "batches": {
-                    "count": self.batches,
-                    "requests": self.batched_requests,
+                    "count": batches,
+                    "requests": batched_requests,
                     "mean_size": (
-                        round(self.batched_requests / self.batches, 2)
-                        if self.batches else None
+                        round(batched_requests / batches, 2)
+                        if batches else None
                     ),
-                    "max_size": self.max_batch_size,
+                    "max_size": int(self.max_batch_size.value),
                 },
                 "coalesce": {
-                    "hits": self.coalesced_hits,
-                    "bytes_saved": round(self.coalesced_bytes_saved, 2),
-                    "merged_rounds": self.merged_rounds,
+                    "hits": int(self.coalesced_hits.value),
+                    "bytes_saved": round(
+                        self.coalesced_bytes_saved.value, 2
+                    ),
+                    "merged_rounds": int(self.merged_rounds.value),
                 },
                 "store": {
                     "requests_by_caller": {
                         caller: round(value, 2)
-                        for caller, value in sorted(
-                            self.store_requests.items()
-                        )
+                        for caller, value in sorted(store_requests.items())
                     },
                     "bytes_by_caller": {
                         caller: round(value, 2)
-                        for caller, value in sorted(self.store_bytes.items())
+                        for caller, value in sorted(store_bytes.items())
                     },
                 },
                 "cache": {
-                    "hits": self.cache_hits,
-                    "misses": self.cache_misses,
+                    "hits": int(self.cache_hits.value),
+                    "misses": int(self.cache_misses.value),
                 },
                 "checkpoints": {
-                    "hits": self.checkpoint_hits,
-                    "misses": self.checkpoint_misses,
-                    "near_hits": self.checkpoint_near_hits,
+                    "hits": ckpt_hits,
+                    "misses": ckpt_misses,
+                    "near_hits": ckpt_near,
                     "hit_rate": (
-                        round(
-                            (self.checkpoint_hits
-                             + self.checkpoint_near_hits)
-                            / ckpt_lookups,
-                            3,
-                        )
+                        round((ckpt_hits + ckpt_near) / ckpt_lookups, 3)
                         if ckpt_lookups else None
                     ),
                 },
                 "resilience": {
-                    "retries": self.retries,
-                    "hedges": self.hedges,
-                    "breaker_trips": self.breaker_trips,
-                    "degraded_queries": self.degraded_queries,
-                    "degraded_keys": self.degraded_keys,
+                    "retries": int(self.retries.value),
+                    "hedges": int(self.hedges.value),
+                    "breaker_trips": int(self.breaker_trips.value),
+                    "degraded_queries": int(self.degraded_queries.value),
+                    "degraded_keys": int(self.degraded_keys.value),
                 },
                 "latency": {
                     "service_ms": self.service_latency.as_dict(),
@@ -255,6 +384,11 @@ class ServiceMetrics:
                     "queue_ms": self.queue_latency.as_dict(),
                 },
             }
+
+    def render_prometheus(self) -> str:
+        """The same counters in Prometheus text exposition 0.0.4."""
+        with self._lock:
+            return self.registry.render()
 
 
 __all__: List[str] = [

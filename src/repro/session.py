@@ -80,6 +80,8 @@ from repro.graph.static import Graph
 from repro.index.tgi import TGI, TGIPlanner, price_plan
 from repro.kvstore.cost import ExecutionTimeline, FetchStats
 from repro.kvstore.degrade import PartialCollector, partial_scope
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, current_span
 from repro.spark.rdd import SparkContext
 from repro.storage import load_index
 from repro.taf.handler import TGIHandler
@@ -325,6 +327,13 @@ class GraphSession:
         # per-algorithm EWMA of observed actual/predicted sim-ms ratios;
         # applied multiplicatively to subsequent candidate pricing
         self._correction: Dict[str, float] = {}
+        #: Optional :class:`repro.obs.Tracer`.  ``None`` (the default)
+        #: leaves every instrumentation site on its no-op path, so
+        #: untraced accounting is bit-identical to pre-tracing builds.
+        self.tracer: Optional[Tracer] = None
+        # session-lifetime query totals for export_metrics(): kind ->
+        # {queries, requests, bytes, sim_ms}.  Plain counters, no RNG.
+        self._totals: Dict[str, Dict[str, float]] = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -360,6 +369,73 @@ class GraphSession:
             name: ms * self._correction.get(name, 1.0)
             for name, ms in candidates.items()
         }
+
+    def _record_totals(self, kind: str, stats: QueryStats) -> None:
+        row = self._totals.get(kind)
+        if row is None:
+            row = self._totals[kind] = {
+                "queries": 0.0, "requests": 0.0, "bytes": 0.0, "sim_ms": 0.0,
+            }
+        row["queries"] += 1.0
+        row["requests"] += float(stats.requests or 0)
+        row["bytes"] += float(stats.bytes_read or 0)
+        row["sim_ms"] += float(stats.sim_time_ms or 0.0)
+
+    def export_metrics(self, fmt: str = "json"):
+        """Session-level telemetry for non-service users.
+
+        ``fmt="json"`` returns a plain dict: the per-algorithm EWMA
+        :attr:`corrections`, the index's learned per-k frontier margin
+        scales, and session-lifetime per-kind query totals.
+        ``fmt="prometheus"`` renders the same values through a
+        :class:`~repro.obs.MetricsRegistry` in text exposition format.
+        """
+        frontier = self.tgi.frontier_corrections
+        if fmt == "json":
+            return {
+                "corrections": self.corrections,
+                "frontier_margin_scale": {
+                    str(k): v for k, v in sorted(frontier.items())
+                },
+                "totals": {
+                    kind: dict(row)
+                    for kind, row in sorted(self._totals.items())
+                },
+            }
+        if fmt != "prometheus":
+            raise QueryError(f"unknown metrics format {fmt!r}")
+        registry = MetricsRegistry()
+        for algo, scale in sorted(self._correction.items()):
+            registry.gauge(
+                "hgs_planner_correction",
+                "per-algorithm EWMA predicted-to-actual scale",
+                labels={"algorithm": algo},
+            ).set(scale)
+        for k, scale in sorted(frontier.items()):
+            registry.gauge(
+                "hgs_frontier_margin_scale",
+                "learned k-hop frontier occupancy margin multiplier",
+                labels={"k": k},
+            ).set(scale)
+        for kind, row in sorted(self._totals.items()):
+            labels = {"kind": kind}
+            registry.counter(
+                "hgs_session_queries_total",
+                "queries executed by this session", labels=labels,
+            ).inc(row["queries"])
+            registry.counter(
+                "hgs_session_store_requests_total",
+                "store requests issued (fair shares)", labels=labels,
+            ).inc(row["requests"])
+            registry.counter(
+                "hgs_session_store_bytes_total",
+                "stored bytes read (fair shares)", labels=labels,
+            ).inc(row["bytes"])
+            registry.counter(
+                "hgs_session_sim_ms_total",
+                "simulated query milliseconds", labels=labels,
+            ).inc(row["sim_ms"])
+        return registry.render()
 
     def _observe(
         self, algorithm: str, predicted_raw: Optional[float],
@@ -534,16 +610,41 @@ class GraphSession:
             chosen = request.algorithm
             if chosen == ALGO_PER_CENTER and request.single:
                 chosen = ALGO_KHOP  # one center: the loop *is* Algorithm 4
-            return chosen, candidates, raw, notes
+            return self._trace_pricing(chosen, candidates, raw, notes)
         if not plannable or not candidates:
             # no alive center to bound (or no priceable candidate — dead
             # placements under fault injection): run Algorithm 4, which
             # raises (or degrades) without fetching a full snapshot
-            return ALGO_KHOP, candidates, raw, notes
+            return self._trace_pricing(
+                ALGO_KHOP, candidates, raw, notes
+            )
         chosen = min(
             candidates,
             key=lambda name: (candidates[name], _TIE_ORDER[name]),
         )
+        return self._trace_pricing(chosen, candidates, raw, notes)
+
+    def _trace_pricing(
+        self,
+        chosen: str,
+        candidates: Dict[str, float],
+        raw: Dict[str, float],
+        notes: Dict[str, List[str]],
+    ) -> Tuple[str, Dict[str, float], Dict[str, float], Dict[str, List[str]]]:
+        """Attach a ``pricing`` span recording the candidate table and
+        the choice (no-op unless this query is being traced)."""
+        span = current_span()
+        if span is not None:
+            span.child(
+                "pricing",
+                chosen=chosen,
+                candidates={k: round(v, 6) for k, v in candidates.items()},
+                raw={k: round(v, 6) for k, v in raw.items()},
+                corrections={
+                    k: round(self._correction.get(k, 1.0), 6)
+                    for k in candidates
+                },
+            ).end()
         return chosen, candidates, raw, notes
 
     def _predict(
@@ -595,7 +696,32 @@ class GraphSession:
         cooperative: the executor checks between stages and scheduling
         rounds, never mid-``multiget``, so a fetch already issued to the
         store completes before the query aborts.
+
+        With a :attr:`tracer` attached (and this query sampled), the
+        whole execution runs under a root ``query`` span: pricing,
+        stages, store rounds, apply lanes and resilience events nest
+        beneath it, and the finished span carries the result's
+        :class:`QueryStats` as attributes.
         """
+        tracer = self.tracer
+        if (
+            tracer is None
+            or current_span() is not None  # already inside a trace
+            or not tracer.should_sample()
+        ):
+            return self._execute_with_deadline(request, deadline_at)
+        with tracer.trace("query", kind=request.kind) as root:
+            try:
+                result = self._execute_with_deadline(request, deadline_at)
+            except Exception as exc:
+                root.set(error=type(exc).__name__)
+                raise
+            self._annotate_query_span(root, request, result)
+        return result
+
+    def _execute_with_deadline(
+        self, request: QueryRequest, deadline_at: Optional[float]
+    ) -> QueryResult:
         if deadline_at is None and request.deadline_ms is not None:
             deadline_at = self.clock() + request.deadline_ms / 1000.0
         if deadline_at is None:
@@ -611,6 +737,44 @@ class GraphSession:
         with cancel_scope(check):
             return self._dispatch(request)
 
+    @staticmethod
+    def _annotate_query_span(
+        span: Span, request: QueryRequest, result: QueryResult
+    ) -> None:
+        """Project the result's stats onto its span: the span tree holds
+        at least everything ``QueryStats`` reports, so the terminal
+        counters are a view of the trace."""
+        stats = result.stats
+        span.set(
+            kind=request.kind,
+            algorithm=stats.algorithm,
+            predicted_ms=stats.predicted_ms,
+            candidates=stats.candidates,
+            sim_time_ms=stats.sim_time_ms,
+            requests=stats.requests,
+            bytes=stats.bytes_read,
+            rounds=stats.rounds,
+            apply_ms=stats.apply_ms,
+            cache_hits=stats.cache_hits,
+            cache_misses=stats.cache_misses,
+            checkpoint_hits=stats.checkpoint_hits,
+            checkpoint_misses=stats.checkpoint_misses,
+            checkpoint_near_hits=stats.checkpoint_near_hits,
+            decoded_events=stats.decoded_events,
+            coalesced_hits=stats.coalesced_hits,
+            merged_rounds=stats.merged_rounds,
+            retries=stats.retries,
+            hedges=stats.hedges,
+            breaker_trips=stats.breaker_trips,
+            backoff_ms=stats.backoff_ms,
+            degraded_keys=stats.degraded_keys,
+        )
+        if result.error is not None:
+            span.set(error=type(result.error).__name__)
+        # the root's sim window is the query's makespan by construction,
+        # so the exported trace reconciles with QueryStats.sim_time_ms
+        span.set_sim(0.0, stats.sim_time_ms or 0.0)
+
     def _dispatch(self, request: QueryRequest) -> QueryResult:
         collector = PartialCollector() if request.allow_partial else None
         with partial_scope(collector):
@@ -621,6 +785,7 @@ class GraphSession:
         if collector is not None:
             self._fold_degraded(result, collector)
         self.last_result = result
+        self._record_totals(request.kind, result.stats)
         return result
 
     @staticmethod
@@ -698,6 +863,43 @@ class GraphSession:
         requests expire at their assembly check.
         """
         requests = list(requests)
+        tracer = self.tracer
+        if (
+            tracer is None
+            or current_span() is not None
+            or not tracer.should_sample()
+        ):
+            return self._execute_batch_inner(
+                requests, coalesce,
+                capture_errors=capture_errors, deadline_ats=deadline_ats,
+            )
+        with tracer.trace("batch", size=len(requests)) as root:
+            try:
+                results = self._execute_batch_inner(
+                    requests, coalesce,
+                    capture_errors=capture_errors, deadline_ats=deadline_ats,
+                )
+            except Exception as exc:
+                root.set(error=type(exc).__name__)
+                raise
+            sim_end = 0.0
+            for i, (request, result) in enumerate(zip(requests, results)):
+                q = root.child("query", lane=f"query-{i}")
+                self._annotate_query_span(q, request, result)
+                q.end()
+                sim_end = max(sim_end, result.stats.sim_time_ms or 0.0)
+            root.set(sim_time_ms=sim_end)
+            root.set_sim(0.0, sim_end)
+        return results
+
+    def _execute_batch_inner(
+        self,
+        requests: List[QueryRequest],
+        coalesce: Optional[bool] = None,
+        *,
+        capture_errors: bool = False,
+        deadline_ats: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[QueryResult]:
         now = self.clock()
         if deadline_ats is None:
             deadlines: List[Optional[float]] = [None] * len(requests)
@@ -907,6 +1109,7 @@ class GraphSession:
             result = QueryResult(request, value, stats)
             if req_collector is not None:
                 self._fold_degraded(result, req_collector)
+            self._record_totals(request.kind, stats)
             out.append(result)
         if out:
             self.last_result = out[-1]
